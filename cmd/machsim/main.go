@@ -1,0 +1,178 @@
+// Command machsim runs a single HFL training experiment: one task, one
+// sampling strategy, one mobility source. It prints the accuracy history as
+// CSV and a summary line, and can consume real-format mobility traces
+// produced by cmd/tracegen (-trace/-coords), exercising the same pipeline
+// the paper uses with the Shanghai Telecom dataset.
+//
+// Usage:
+//
+//	machsim -task mnist -strategy mach -steps 150
+//	tracegen -trace t.csv -coords s.csv && \
+//	machsim -task fmnist -strategy mach -trace t.csv -coords s.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"math/rand"
+
+	"github.com/mach-fl/mach/internal/bench"
+	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/mobility"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "machsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		task     = flag.String("task", "mnist", "task: mnist | fmnist | cifar10")
+		strategy = flag.String("strategy", "mach", "sampling strategy: uniform | class-balance | statistical | mach | mach-p")
+		scale    = flag.String("scale", "ci", "preset scale: ci | full")
+		steps    = flag.Int("steps", 0, "override step budget")
+		seed     = flag.Int64("seed", 1, "random seed")
+		target   = flag.Float64("target", 0, "stop at this accuracy (0 = run to completion)")
+		tracePth = flag.String("trace", "", "mobility trace CSV (from tracegen); default synthetic waypoint")
+		coords   = flag.String("coords", "", "station coordinates CSV (required with -trace)")
+		edges    = flag.Int("edges", 0, "override edge count")
+		devices  = flag.Int("devices", 0, "override device count")
+		outPath  = flag.String("out", "", "write accuracy history CSV here (default stdout)")
+		confPath = flag.String("config", "", "JSON experiment config layered over the preset")
+	)
+	flag.Parse()
+
+	cfg := bench.TaskPreset(bench.Task(*task), bench.Scale(*scale))
+	if *confPath != "" {
+		loaded, err := bench.LoadConfig(*confPath, cfg)
+		if err != nil {
+			return err
+		}
+		cfg = loaded
+	}
+	cfg.Seed = *seed
+	cfg.Runs = 1
+	if *steps > 0 {
+		cfg.Steps = *steps
+	}
+	if *edges > 0 {
+		cfg.Edges = *edges
+	}
+	if *devices > 0 {
+		cfg.Devices = *devices
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	env, err := cfg.BuildEnvironment(0)
+	if err != nil {
+		return err
+	}
+	if *tracePth != "" {
+		sched, err := scheduleFromTrace(*tracePth, *coords, cfg.Edges, cfg.Devices, cfg.Steps, *seed)
+		if err != nil {
+			return err
+		}
+		env.Schedule = sched
+	}
+
+	strat, err := cfg.NewStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	eng, err := hfl.New(cfg.HFLConfig(0), cfg.Arch(), env.DeviceData, env.Test, env.Schedule, strat)
+	if err != nil {
+		return err
+	}
+
+	var opts []hfl.RunOption
+	if *target > 0 {
+		opts = append(opts, hfl.WithTarget(*target))
+	}
+	opts = append(opts, hfl.WithEvalHook(func(step int, acc, loss float64) {
+		fmt.Fprintf(os.Stderr, "step %4d  accuracy %.4f  loss %.4f\n", step, acc, loss)
+	}))
+
+	start := time.Now()
+	res, err := eng.Run(opts...)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create output: %w", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := res.History.WriteCSV(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"machsim: %s/%s  steps=%d  sampled=%d  final accuracy=%.4f  best=%.4f  elapsed=%v\n",
+		*task, *strategy, res.StepsRun, res.TotalSampled,
+		res.History.FinalAccuracy(), res.History.BestAccuracy(),
+		time.Since(start).Round(time.Millisecond))
+	if res.ReachedTarget {
+		fmt.Fprintf(os.Stderr, "machsim: reached target %.2f at step %d\n", *target, res.TargetStep)
+	}
+	confusion, err := eng.EvaluateConfusion()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "machsim: final confusion matrix")
+	if err := confusion.Write(os.Stderr); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scheduleFromTrace builds the B^t schedule from a tracegen trace: parse the
+// records and station coordinates, cluster stations into edges, and map
+// record intervals onto FL time steps.
+func scheduleFromTrace(tracePath, coordsPath string, edges, devices, steps int, seed int64) (*mobility.Schedule, error) {
+	if coordsPath == "" {
+		return nil, fmt.Errorf("-trace requires -coords (station positions for edge clustering)")
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return nil, fmt.Errorf("open trace: %w", err)
+	}
+	defer tf.Close()
+	trace, err := mobility.ReadCSV(tf)
+	if err != nil {
+		return nil, err
+	}
+	cf, err := os.Open(coordsPath)
+	if err != nil {
+		return nil, fmt.Errorf("open coords: %w", err)
+	}
+	defer cf.Close()
+	stations, err := mobility.ReadStationsCSV(cf)
+	if err != nil {
+		return nil, err
+	}
+	rng := newSeededRand(seed)
+	edgeOf, err := mobility.ClusterStations(rng, stations, edges)
+	if err != nil {
+		return nil, err
+	}
+	// Spread the trace horizon over the configured number of steps.
+	stepDur := trace.Horizon() / int64(steps)
+	if stepDur < 1 {
+		stepDur = 1
+	}
+	return mobility.BuildSchedule(trace, edgeOf, edges, devices, steps, stepDur)
+}
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

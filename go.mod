@@ -1,0 +1,3 @@
+module github.com/mach-fl/mach
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package analysis estimates the constants of the paper's convergence bound
+// (Theorem 1) empirically — the smoothness constant L of Assumption 1 and
+// the per-device gradient-norm bounds G²_m of Assumption 3 — and evaluates
+// the bound for a given device population and sampling strategy. It connects
+// the theory sections of the paper to measurable quantities of the simulator
+// (see examples/bound for the closed-form side).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/mach-fl/mach/internal/dataset"
+	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// EstimateSmoothness probes the L-smoothness constant of Assumption 1 by
+// sampling random parameter pairs (w, w′ = w + δ) and maximizing
+// ‖∇F(w) − ∇F(w′)‖ / ‖w − w′‖ over trials. The returned value is a lower
+// bound on the true L (a probe, not a certificate), which is how such
+// constants are estimated in practice.
+func EstimateSmoothness(arch hfl.ArchFunc, data *dataset.Dataset, trials, batch int, radius float64, seed int64) (float64, error) {
+	if trials <= 0 || batch <= 0 || radius <= 0 {
+		return 0, fmt.Errorf("analysis: trials/batch/radius must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net, err := arch(rng)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: build model: %w", err)
+	}
+	probe := net.Clone()
+	opt := nn.NewSGD(0) // gradients only
+	best := 0.0
+	base := net.ParamVector()
+	for trial := 0; trial < trials; trial++ {
+		// Fix the minibatch so both gradient evaluations see the same F.
+		x, y := data.RandomBatch(rng, batch)
+
+		w := make([]float64, len(base))
+		for i := range w {
+			w[i] = base[i] + rng.NormFloat64()*0.1
+		}
+		if err := probe.SetParamVector(w); err != nil {
+			return 0, err
+		}
+		probe.TrainStep(x, y, opt)
+		g1 := probe.GradVector()
+
+		dist := 0.0
+		w2 := make([]float64, len(w))
+		for i := range w2 {
+			d := rng.NormFloat64() * radius
+			w2[i] = w[i] + d
+			dist += d * d
+		}
+		dist = math.Sqrt(dist)
+		if err := probe.SetParamVector(w2); err != nil {
+			return 0, err
+		}
+		probe.TrainStep(x, y, opt)
+		g2 := probe.GradVector()
+
+		diff := 0.0
+		for i := range g1 {
+			d := g1[i] - g2[i]
+			diff += d * d
+		}
+		if dist > 0 {
+			if l := math.Sqrt(diff) / dist; l > best {
+				best = l
+			}
+		}
+	}
+	return best, nil
+}
+
+// EstimateGradNorms probes each device's expected squared stochastic-
+// gradient norm E‖g_m(w, ξ)‖² under the given parameters, averaging over
+// several minibatches — the ground truth that MACH's experience updating
+// estimates online.
+func EstimateGradNorms(arch hfl.ArchFunc, devices []*dataset.Dataset, params []float64, probes, batch int, seed int64) ([]float64, error) {
+	if probes <= 0 || batch <= 0 {
+		return nil, fmt.Errorf("analysis: probes/batch must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net, err := arch(rng)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: build model: %w", err)
+	}
+	opt := nn.NewSGD(0)
+	out := make([]float64, len(devices))
+	for m, d := range devices {
+		if d == nil || d.Len() == 0 {
+			return nil, fmt.Errorf("analysis: device %d has no data", m)
+		}
+		total := 0.0
+		for p := 0; p < probes; p++ {
+			if err := net.SetParamVector(params); err != nil {
+				return nil, err
+			}
+			x, y := d.RandomBatch(rng, batch)
+			_, gn := net.TrainStep(x, y, opt)
+			total += gn
+		}
+		out[m] = total / float64(probes)
+	}
+	return out, nil
+}
+
+// BoundReport compares the Theorem 1 bound under uniform sampling, the
+// paper's Eq. (13) plug-in, and the exact optimum, for one device population
+// split across edges.
+type BoundReport struct {
+	// PerEdgeNorms[n] holds the G²_m of edge n's members.
+	PerEdgeNorms [][]float64
+	Capacity     float64
+	// Variance terms Σ G²/q per step under each strategy.
+	UniformTerm float64
+	PaperTerm   float64
+	OptimalTerm float64
+	// Theorem 1 bounds over the given horizon.
+	UniformBound float64
+	PaperBound   float64
+	OptimalBound float64
+}
+
+// CompareBounds evaluates the three closed-form strategies on a fixed norm
+// profile over a horizon of steps.
+func CompareBounds(params hfl.BoundParams, perEdgeNorms [][]float64, capacity float64, steps int) (*BoundReport, error) {
+	if steps <= 0 || capacity <= 0 {
+		return nil, fmt.Errorf("analysis: steps/capacity must be positive")
+	}
+	r := &BoundReport{PerEdgeNorms: perEdgeNorms, Capacity: capacity}
+	for _, norms := range perEdgeNorms {
+		n := len(norms)
+		if n == 0 {
+			continue
+		}
+		uq := make([]float64, n)
+		for i := range uq {
+			uq[i] = clamp01(capacity / float64(n))
+		}
+		r.UniformTerm += sampling.VarianceTerm(norms, uq)
+		r.PaperTerm += sampling.VarianceTerm(norms, clampAll(sampling.PaperVirtualProbabilities(capacity, norms)))
+		r.OptimalTerm += sampling.VarianceTerm(norms, clampAll(sampling.OptimalProbabilities(capacity, norms)))
+	}
+	mk := func(v float64) []float64 {
+		terms := make([]float64, steps)
+		for i := range terms {
+			terms[i] = v
+		}
+		return terms
+	}
+	var err error
+	if r.UniformBound, err = hfl.Theorem1Bound(params, mk(r.UniformTerm)); err != nil {
+		return nil, err
+	}
+	if r.PaperBound, err = hfl.Theorem1Bound(params, mk(r.PaperTerm)); err != nil {
+		return nil, err
+	}
+	if r.OptimalBound, err = hfl.Theorem1Bound(params, mk(r.OptimalTerm)); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func clamp01(q float64) float64 {
+	if q > 1 {
+		return 1
+	}
+	if q < 1e-3 {
+		return 1e-3
+	}
+	return q
+}
+
+func clampAll(qs []float64) []float64 {
+	for i, q := range qs {
+		qs[i] = clamp01(q)
+	}
+	return qs
+}

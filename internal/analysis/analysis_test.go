@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/dataset"
+	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/nn"
+)
+
+func testArch(rng *rand.Rand) (*nn.Network, error) {
+	return nn.NewMLP("analysis", 16, []int{8}, 10, rng), nil
+}
+
+func testData(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := task.Generate(rand.New(rand.NewSource(1)), n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEstimateSmoothnessPositiveFinite(t *testing.T) {
+	d := testData(t, 60)
+	l, err := EstimateSmoothness(testArch, d, 10, 8, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 || l > 1e4 {
+		t.Fatalf("estimated L = %v implausible", l)
+	}
+	if _, err := EstimateSmoothness(testArch, d, 0, 8, 0.01, 2); err == nil {
+		t.Fatal("expected error for zero trials")
+	}
+}
+
+func TestEstimateGradNormsOrdering(t *testing.T) {
+	// Train a model on class-0 data only; a class-0 device should then
+	// have a smaller gradient norm than a device holding other classes.
+	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	law0 := make([]float64, 10)
+	law0[0] = 1
+	dev0, err := task.Generate(rng, 60, law0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law9 := make([]float64, 10)
+	law9[9] = 1
+	dev9, err := task.Generate(rng, 60, law9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net, err := testArch(rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewSGD(0.1)
+	for i := 0; i < 80; i++ {
+		x, y := dev0.RandomBatch(rng, 8)
+		net.TrainStep(x, y, opt)
+	}
+
+	norms, err := EstimateGradNorms(testArch, []*dataset.Dataset{dev0, dev9}, net.ParamVector(), 6, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norms[0] >= norms[1] {
+		t.Fatalf("fitted device norm %v not below unfitted %v", norms[0], norms[1])
+	}
+}
+
+func TestEstimateGradNormsErrors(t *testing.T) {
+	d := testData(t, 10)
+	net, err := testArch(rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateGradNorms(testArch, []*dataset.Dataset{d}, net.ParamVector(), 0, 4, 1); err == nil {
+		t.Fatal("expected error for zero probes")
+	}
+	if _, err := EstimateGradNorms(testArch, []*dataset.Dataset{nil}, net.ParamVector(), 1, 4, 1); err == nil {
+		t.Fatal("expected error for nil device")
+	}
+}
+
+func TestCompareBoundsOrdering(t *testing.T) {
+	params := hfl.BoundParams{
+		InitialGap: 2, L: 1, Gamma: 0.01,
+		LocalEpochs: 10, CloudInterval: 5, Devices: 16,
+	}
+	norms := [][]float64{
+		{1, 2, 20, 3},
+		{0.5, 8, 1, 1},
+	}
+	r, err := CompareBounds(params, norms, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact optimum never exceeds uniform; the paper's plug-in sits
+	// in-between or slightly off but must stay finite and positive.
+	if !(r.OptimalTerm <= r.UniformTerm+1e-9) {
+		t.Fatalf("optimal term %v above uniform %v", r.OptimalTerm, r.UniformTerm)
+	}
+	if !(r.OptimalBound <= r.UniformBound+1e-9) {
+		t.Fatalf("optimal bound %v above uniform %v", r.OptimalBound, r.UniformBound)
+	}
+	for _, v := range []float64{r.UniformBound, r.PaperBound, r.OptimalBound} {
+		if v <= 0 {
+			t.Fatalf("non-positive bound %v", v)
+		}
+	}
+	if _, err := CompareBounds(params, norms, 0, 50); err == nil {
+		t.Fatal("expected capacity error")
+	}
+	if _, err := CompareBounds(params, norms, 2, 0); err == nil {
+		t.Fatal("expected steps error")
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON serializes the config for experiment provenance; every
+// machbench/machsim run can be reproduced from the saved file.
+func (c Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("bench: encode config: %w", err)
+	}
+	return nil
+}
+
+// SaveConfig writes the config to a file.
+func SaveConfig(c Config, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: create config file: %w", err)
+	}
+	defer f.Close()
+	return c.WriteJSON(f)
+}
+
+// ReadConfig parses a config written by WriteJSON, layered on top of the
+// given base (fields absent from the JSON keep the base's values) and
+// validated.
+func ReadConfig(r io.Reader, base Config) (Config, error) {
+	cfg := base
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("bench: decode config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadConfig reads a config file on top of a base preset.
+func LoadConfig(path string, base Config) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("bench: open config file: %w", err)
+	}
+	defer f.Close()
+	return ReadConfig(f, base)
+}

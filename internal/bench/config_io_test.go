@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := TaskPreset(TaskFMNIST, ScaleCI)
+	cfg.Seed = 42
+	cfg.MACH.Alpha = 1.7
+
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	if err := SaveConfig(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path, TaskPreset(TaskMNIST, ScaleCI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != TaskFMNIST || got.Seed != 42 || got.MACH.Alpha != 1.7 {
+		t.Fatalf("round-trip lost fields: %+v", got)
+	}
+	if got.Steps != cfg.Steps {
+		t.Fatalf("steps %d, want %d", got.Steps, cfg.Steps)
+	}
+}
+
+func TestReadConfigLayersOverBase(t *testing.T) {
+	base := TaskPreset(TaskMNIST, ScaleCI)
+	got, err := ReadConfig(strings.NewReader(`{"Seed": 9, "Devices": 12}`), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 9 || got.Devices != 12 {
+		t.Fatalf("overrides not applied: %+v", got)
+	}
+	if got.Edges != base.Edges || got.Task != base.Task {
+		t.Fatal("base fields lost")
+	}
+}
+
+func TestReadConfigRejectsUnknownAndInvalid(t *testing.T) {
+	base := TaskPreset(TaskMNIST, ScaleCI)
+	if _, err := ReadConfig(strings.NewReader(`{"NoSuchField": 1}`), base); err == nil {
+		t.Fatal("expected unknown-field error")
+	}
+	if _, err := ReadConfig(strings.NewReader(`{"Edges": 0}`), base); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := ReadConfig(strings.NewReader(`not json`), base); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := LoadConfig("/nonexistent/cfg.json", base); err == nil {
+		t.Fatal("expected open error")
+	}
+}

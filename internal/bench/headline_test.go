@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestHeadlineClaimShape pins the qualitative shape of the paper's headline
+// result on a micro-scale run (DESIGN.md §3): MACH must clearly beat the
+// class-balance baseline, track uniform sampling within noise, and not beat
+// its own perfect-information variant by more than noise. Magnitudes are
+// substrate-dependent (EXPERIMENTS.md); the *ordering* is the invariant this
+// test protects against regressions.
+func TestHeadlineClaimShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: several seconds of training")
+	}
+	cfg := TaskPreset(TaskMNIST, ScaleCI)
+	cfg.Devices = 16
+	cfg.Edges = 3
+	cfg.Steps = 80
+	cfg.SamplesPerDevice = 40
+	cfg.TestSamples = 400
+	cfg.LocalEpochs = 3
+	cfg.Runs = 2
+	cfg.SmoothWindow = 5
+
+	final := map[string]float64{}
+	for _, name := range AllStrategies() {
+		res, err := RunStrategy(cfg, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		final[name] = res.FinalAccuracy
+	}
+
+	// MACH clearly above the greedy class-balance baseline.
+	if final[StratMACH] <= final[StratClassBalance] {
+		t.Errorf("MACH %.3f not above class-balance %.3f", final[StratMACH], final[StratClassBalance])
+	}
+	// MACH within noise of uniform (the strong baseline on this substrate).
+	if final[StratMACH] < final[StratUniform]-0.05 {
+		t.Errorf("MACH %.3f more than 5pp below uniform %.3f", final[StratMACH], final[StratUniform])
+	}
+	// Perfect information is not substantially worse than the online
+	// estimator it upper-bounds.
+	if final[StratMACHP] < final[StratMACH]-0.05 {
+		t.Errorf("MACH-P %.3f more than 5pp below MACH %.3f", final[StratMACHP], final[StratMACH])
+	}
+	t.Logf("final accuracies: %v", final)
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderFig3 writes the accuracy-vs-step series of one Figure 3 subplot as
+// an aligned text table (one column per strategy), the textual equivalent of
+// the paper's curves.
+func RenderFig3(w io.Writer, r *Fig3Result) error {
+	names := make([]string, 0, len(r.Comparison.Results))
+	for _, res := range r.Comparison.Results {
+		names = append(names, res.Strategy)
+	}
+	fmt.Fprintf(w, "Figure 3 (%s): time-to-accuracy, target %.2f\n", r.Task, r.Comparison.Config.TargetAccuracy)
+	fmt.Fprintf(w, "%8s", "step")
+	for _, n := range names {
+		fmt.Fprintf(w, " %13s", n)
+	}
+	fmt.Fprintln(w)
+
+	steps := map[int]bool{}
+	for _, res := range r.Comparison.Results {
+		for _, p := range res.History.Points {
+			steps[p.Step] = true
+		}
+	}
+	ordered := make([]int, 0, len(steps))
+	for s := range steps {
+		ordered = append(ordered, s)
+	}
+	sort.Ints(ordered)
+	for _, s := range ordered {
+		fmt.Fprintf(w, "%8d", s)
+		for _, res := range r.Comparison.Results {
+			val := ""
+			for _, p := range res.History.Points {
+				if p.Step == s {
+					val = fmt.Sprintf("%.4f", p.Accuracy)
+					break
+				}
+			}
+			fmt.Fprintf(w, " %13s", val)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "time to target:")
+	for _, res := range r.Comparison.Results {
+		mark := ""
+		if !res.Reached {
+			mark = " (not reached)"
+		}
+		fmt.Fprintf(w, "  %-14s %5d steps%s\n", res.Strategy, res.TimeToTarget, mark)
+	}
+	fmt.Fprintf(w, "MACH saved vs best baseline: %.2f%%\n", r.Comparison.SavedPercent(Baselines()))
+	return nil
+}
+
+// RenderSweep writes one subplot of Figure 4 or 5 as a table: swept value
+// per row, time-to-target per strategy per column, saved-% last.
+func RenderSweep(w io.Writer, r *SweepResult, fig string) error {
+	fmt.Fprintf(w, "%s (%s): time step to target accuracy vs %s\n", fig, r.Task, r.Label)
+	names := AllStrategies()
+	fmt.Fprintf(w, "%14s", r.Label)
+	for _, n := range names {
+		fmt.Fprintf(w, " %13s", n)
+	}
+	fmt.Fprintf(w, " %10s\n", "saved%")
+	for _, pt := range r.Points {
+		if r.Label == "edges" {
+			fmt.Fprintf(w, "%14.0f", pt.Value)
+		} else {
+			fmt.Fprintf(w, "%14.2f", pt.Value)
+		}
+		for _, n := range names {
+			cell := fmt.Sprintf("%d", pt.TimeToTarget[n])
+			if !pt.Reached[n] {
+				cell += "*"
+			}
+			fmt.Fprintf(w, " %13s", cell)
+		}
+		fmt.Fprintf(w, " %9.2f%%\n", pt.SavedPercent)
+	}
+	fmt.Fprintln(w, "(* = target not reached within the step budget)")
+	return nil
+}
+
+// RenderTable1 writes Table I for one task in the paper's layout.
+func RenderTable1(w io.Writer, r *Table1Result) error {
+	fmt.Fprintf(w, "Table I (%s): time steps under different local updating epochs\n", r.Task)
+	fmt.Fprintf(w, "%-12s %-8s %8s %8s %8s %8s %9s\n",
+		"target", "epochs", "MACH", "US", "CS", "SS", "saved%")
+	for _, row := range r.Rows {
+		mark := func(name string) string {
+			cell := fmt.Sprintf("%d", row.Steps[name])
+			if !row.Reached[name] {
+				cell += "*"
+			}
+			return cell
+		}
+		fmt.Fprintf(w, "%-12s %-8s %8s %8s %8s %8s %8.2f%%\n",
+			row.TargetLabel, row.EpochsLabel,
+			mark(StratMACH), mark(StratUniform), mark(StratClassBalance), mark(StratStatistical),
+			row.SavedPercent)
+	}
+	fmt.Fprintln(w, "(* = target not reached within the step budget)")
+	return nil
+}
+
+// RenderCurveASCII draws a coarse ASCII accuracy curve, used by the examples
+// for quick visual inspection.
+func RenderCurveASCII(w io.Writer, title string, steps []int, accs []float64, width, height int) {
+	if len(steps) == 0 || width < 8 || height < 2 {
+		return
+	}
+	fmt.Fprintln(w, title)
+	maxStep := steps[len(steps)-1]
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i, s := range steps {
+		x := 0
+		if maxStep > 0 {
+			x = s * (width - 1) / maxStep
+		}
+		y := int(accs[i] * float64(height-1))
+		if y > height-1 {
+			y = height - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		grid[height-1-y][x] = '*'
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	fmt.Fprintf(w, "0%saccuracy 0..1, steps 0..%d\n", strings.Repeat(" ", 4), maxStep)
+}

@@ -1,0 +1,202 @@
+package fed
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+
+	"github.com/mach-fl/mach/internal/dataset"
+	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/metrics"
+	"github.com/mach-fl/mach/internal/mobility"
+	"github.com/mach-fl/mach/internal/nn"
+)
+
+// CloudConfig parameterizes the coordinator.
+type CloudConfig struct {
+	// Steps is T, CloudInterval is T_g (Eq. 6).
+	Steps         int
+	CloudInterval int
+	// Participation sets the per-edge capacity K_n =
+	// Participation·|M|/|N|, as in the simulator.
+	Participation float64
+	// EvalEvery evaluates the global model every EvalEvery steps
+	// (0 = every cloud round).
+	EvalEvery int
+	// Seed drives model initialization.
+	Seed int64
+}
+
+// Validate reports whether the config is usable.
+func (c CloudConfig) Validate() error {
+	switch {
+	case c.Steps <= 0 || c.CloudInterval <= 0:
+		return fmt.Errorf("fed: cloud steps/interval %d/%d must be positive", c.Steps, c.CloudInterval)
+	case c.Participation <= 0 || c.Participation > 1:
+		return fmt.Errorf("fed: participation %v outside (0,1]", c.Participation)
+	case c.EvalEvery < 0:
+		return fmt.Errorf("fed: eval interval %d negative", c.EvalEvery)
+	}
+	return nil
+}
+
+// Cloud is the coordinator: it owns the mobility schedule, drives time
+// steps across edge servers, aggregates edge models every T_g steps and
+// redistributes the global model (Eq. 6).
+type Cloud struct {
+	cfg      CloudConfig
+	schedule *mobility.Schedule
+	test     *dataset.Dataset
+	evalNet  *nn.Network
+	global   []float64
+
+	edges       []*rpc.Client
+	deviceHosts []*rpc.Client
+}
+
+// NewCloud dials the edge servers and device hosts and initializes the
+// global model from arch.
+func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, schedule *mobility.Schedule, test *dataset.Dataset, edgeAddrs, deviceHostAddrs []string) (*Cloud, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if schedule == nil || schedule.Validate() != nil {
+		return nil, fmt.Errorf("fed: cloud needs a valid schedule")
+	}
+	if len(edgeAddrs) != schedule.Edges {
+		return nil, fmt.Errorf("fed: %d edge addresses for %d scheduled edges", len(edgeAddrs), schedule.Edges)
+	}
+	if schedule.Steps < cfg.Steps {
+		return nil, fmt.Errorf("fed: schedule covers %d steps, config needs %d", schedule.Steps, cfg.Steps)
+	}
+	if test == nil || test.Len() == 0 {
+		return nil, fmt.Errorf("fed: cloud needs a test set")
+	}
+	rng := newRand(cfg.Seed)
+	net0, err := arch(rng)
+	if err != nil {
+		return nil, fmt.Errorf("fed: build global model: %w", err)
+	}
+	c := &Cloud{
+		cfg:      cfg,
+		schedule: schedule,
+		test:     test,
+		evalNet:  net0,
+		global:   net0.ParamVector(),
+	}
+	for _, addr := range edgeAddrs {
+		cl, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("fed: cloud dial edge %s: %w", addr, err)
+		}
+		c.edges = append(c.edges, cl)
+	}
+	for _, addr := range deviceHostAddrs {
+		cl, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("fed: cloud dial device host %s: %w", addr, err)
+		}
+		c.deviceHosts = append(c.deviceHosts, cl)
+	}
+	return c, nil
+}
+
+// Close drops all connections.
+func (c *Cloud) Close() {
+	for _, cl := range c.edges {
+		cl.Close()
+	}
+	for _, cl := range c.deviceHosts {
+		cl.Close()
+	}
+}
+
+// GlobalParams returns a copy of the current global model parameters.
+func (c *Cloud) GlobalParams() []float64 { return append([]float64(nil), c.global...) }
+
+// Run drives the full training (Algorithm 1 over RPC) and returns the
+// accuracy history.
+func (c *Cloud) Run() (*metrics.History, error) {
+	hist := &metrics.History{}
+	capacity := c.cfg.Participation * float64(c.schedule.Devices) / float64(c.schedule.Edges)
+	resetParams := true // first step seeds every edge with the global model
+	edgeParams := make([][]float64, c.schedule.Edges)
+
+	for t := 0; t < c.cfg.Steps; t++ {
+		var wg sync.WaitGroup
+		errs := make([]error, c.schedule.Edges)
+		for n := range c.edges {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				args := EdgeStepArgs{
+					Step:     t,
+					Members:  c.schedule.MembersAt(t, n),
+					Capacity: capacity,
+				}
+				if resetParams {
+					args.Params = c.global
+				}
+				var rep EdgeStepReply
+				if err := c.edges[n].Call("Edge.Step", args, &rep); err != nil {
+					errs[n] = err
+					return
+				}
+				edgeParams[n] = rep.Params
+			}(n)
+		}
+		wg.Wait()
+		for n, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("fed: step %d edge %d: %w", t, n, err)
+			}
+		}
+		resetParams = false
+
+		cloudRound := (t+1)%c.cfg.CloudInterval == 0
+		if cloudRound {
+			c.aggregate(t, edgeParams)
+			resetParams = true
+			for i, host := range c.deviceHosts {
+				var rep CloudRoundReply
+				if err := host.Call("Device.CloudRound", CloudRoundArgs{Step: t + 1}, &rep); err != nil {
+					return nil, fmt.Errorf("fed: cloud round on host %d: %w", i, err)
+				}
+			}
+		}
+		evalDue := cloudRound
+		if c.cfg.EvalEvery > 0 {
+			evalDue = (t+1)%c.cfg.EvalEvery == 0
+		}
+		if evalDue || t == c.cfg.Steps-1 {
+			if err := c.evalNet.SetParamVector(c.global); err != nil {
+				return nil, err
+			}
+			x, y := c.test.All()
+			acc, loss := c.evalNet.Evaluate(x, y)
+			hist.Add(metrics.Point{Step: t + 1, Accuracy: acc, Loss: loss})
+		}
+	}
+	return hist, nil
+}
+
+// aggregate merges edge models with the member-count weights of Eq. (6).
+func (c *Cloud) aggregate(t int, edgeParams [][]float64) {
+	total := 0
+	counts := make([]int, c.schedule.Edges)
+	for n := range counts {
+		counts[n] = len(c.schedule.MembersAt(t, n))
+		total += counts[n]
+	}
+	next := make([]float64, len(c.global))
+	for n, params := range edgeParams {
+		if counts[n] == 0 || params == nil {
+			continue
+		}
+		w := float64(counts[n]) / float64(total)
+		for j, v := range params {
+			next[j] += w * v
+		}
+	}
+	c.global = next
+}

@@ -1,0 +1,188 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"github.com/mach-fl/mach/internal/dataset"
+	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// DeviceServer hosts a set of logical mobile devices: their datasets, model
+// replicas, optimizers and — per the paper's device-side design — their
+// gradient experience buffers. One process typically hosts many devices
+// (like one simulator machine emulating a fleet).
+type DeviceServer struct {
+	mu      sync.Mutex
+	devices map[int]*hostedDevice
+	book    *sampling.ExperienceBook
+	arch    hfl.ArchFunc
+	seed    int64
+
+	listener net.Listener
+	server   *rpc.Server
+}
+
+type hostedDevice struct {
+	data  *dataset.Dataset
+	model *nn.Network
+	opt   *nn.SGD
+	rng   *rand.Rand
+	dist  []float64
+}
+
+// NewDeviceServer creates a host for the given logical devices (deviceID →
+// dataset). machCfg parameterizes the on-device UCB estimator.
+func NewDeviceServer(arch hfl.ArchFunc, data map[int]*dataset.Dataset, machCfg sampling.MACHConfig, seed int64) (*DeviceServer, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("fed: device server needs at least one device")
+	}
+	maxID := 0
+	for id, d := range data {
+		if d == nil || d.Len() == 0 {
+			return nil, fmt.Errorf("fed: device %d has no data", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	ds := &DeviceServer{
+		devices: make(map[int]*hostedDevice, len(data)),
+		book:    sampling.NewExperienceBook(maxID+1, machCfg.ExplorationCoef, machCfg.Discount),
+		arch:    arch,
+		seed:    seed,
+	}
+	for id, d := range data {
+		rng := rand.New(rand.NewSource(seed + int64(id)*311))
+		model, err := arch(rng)
+		if err != nil {
+			return nil, fmt.Errorf("fed: build model for device %d: %w", id, err)
+		}
+		ds.devices[id] = &hostedDevice{
+			data:  d,
+			model: model,
+			opt:   nn.NewSGD(0.01),
+			rng:   rng,
+			dist:  d.ClassDistribution(),
+		}
+	}
+	return ds, nil
+}
+
+// Serve starts listening on addr ("host:0" for an ephemeral port) and
+// serves RPCs until Close. It returns the bound address.
+func (s *DeviceServer) Serve(addr string) (string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Device", s); err != nil {
+		return "", fmt.Errorf("fed: register device service: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fed: device listen: %w", err)
+	}
+	s.listener = ln
+	s.server = srv
+	go acceptLoop(srv, ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *DeviceServer) Close() error {
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Close()
+}
+
+func acceptLoop(srv *rpc.Server, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Ping implements the liveness RPC.
+func (s *DeviceServer) Ping(_ PingArgs, reply *PingReply) error {
+	reply.Role = "device-host"
+	return nil
+}
+
+// Estimate returns the devices' current UCB gradient-norm estimates
+// (Eq. 15). Unknown devices yield an error: the edge's membership view is
+// stale.
+func (s *DeviceServer) Estimate(args EstimateArgs, reply *EstimateReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reply.Estimates = make([]float64, len(args.Devices))
+	for i, id := range args.Devices {
+		if _, ok := s.devices[id]; !ok {
+			return fmt.Errorf("fed: device %d not hosted here", id)
+		}
+		reply.Estimates[i] = s.book.UCBEstimate(id, args.Step)
+	}
+	return nil
+}
+
+// ClassDist returns the devices' local label distributions.
+func (s *DeviceServer) ClassDist(args ClassDistArgs, reply *ClassDistReply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reply.Distributions = make([][]float64, len(args.Devices))
+	for i, id := range args.Devices {
+		dev, ok := s.devices[id]
+		if !ok {
+			return fmt.Errorf("fed: device %d not hosted here", id)
+		}
+		reply.Distributions[i] = append([]float64(nil), dev.dist...)
+	}
+	return nil
+}
+
+// Train runs local updating (Eq. 4) on one device and records the training
+// experience in the device-side buffer (Algorithm 2, line 1).
+//
+// Concurrent Train calls are safe for distinct devices (each owns its model
+// and RNG); calls for the same device must be serialized by the caller,
+// which the schedule's partition property (Eq. 1 — a device attaches to
+// exactly one edge per step) guarantees in a correct deployment.
+func (s *DeviceServer) Train(args TrainArgs, reply *TrainReply) error {
+	s.mu.Lock()
+	dev, ok := s.devices[args.Device]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fed: device %d not hosted here", args.Device)
+	}
+	if args.Hyper.LocalEpochs <= 0 || args.Hyper.BatchSize <= 0 || args.Hyper.LearningRate <= 0 {
+		return fmt.Errorf("fed: invalid hyperparameters %+v", args.Hyper)
+	}
+	if err := dev.model.SetParamVector(args.Params); err != nil {
+		return fmt.Errorf("fed: device %d: %w", args.Device, err)
+	}
+	dev.opt.SetLearningRate(args.Hyper.LearningRate)
+	sqNorms := make([]float64, args.Hyper.LocalEpochs)
+	for tau := range sqNorms {
+		x, y := dev.data.RandomBatch(dev.rng, args.Hyper.BatchSize)
+		_, gn := dev.model.TrainStep(x, y, dev.opt)
+		sqNorms[tau] = gn
+	}
+	s.book.Observe(args.Device, sqNorms)
+	reply.Params = dev.model.ParamVector()
+	reply.SqNorms = sqNorms
+	return nil
+}
+
+// CloudRound folds the hosted devices' experience buffers (Algorithm 2,
+// lines 2-4).
+func (s *DeviceServer) CloudRound(args CloudRoundArgs, reply *CloudRoundReply) error {
+	s.book.CloudRound(args.Step)
+	*reply = CloudRoundReply{}
+	return nil
+}

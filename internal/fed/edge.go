@@ -1,0 +1,238 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// EdgeServer executes one edge's share of every time step: it fetches its
+// current members' G̃² estimates from their device hosts, derives the edge
+// sampling strategy (Algorithm 3), dispatches local training, and aggregates
+// the returned models into the edge model.
+type EdgeServer struct {
+	id       int
+	machCfg  sampling.MACHConfig
+	hyper    Hyper
+	seed     int64
+	resolver Resolver
+
+	mu     sync.Mutex
+	params []float64
+
+	clients  map[string]*rpc.Client
+	listener net.Listener
+}
+
+// Resolver maps a logical device ID to the address of the host serving it.
+// Deployments back it with static config or a registry.
+type Resolver func(device int) (string, error)
+
+// StaticResolver resolves from a fixed device→address table.
+func StaticResolver(table map[int]string) Resolver {
+	return func(device int) (string, error) {
+		addr, ok := table[device]
+		if !ok {
+			return "", fmt.Errorf("fed: no host for device %d", device)
+		}
+		return addr, nil
+	}
+}
+
+// NewEdgeServer creates an edge. initialParams seeds the edge model (the
+// cloud re-sends parameters at every global aggregation anyway).
+func NewEdgeServer(id int, machCfg sampling.MACHConfig, hyper Hyper, seed int64, resolver Resolver, initialParams []float64) (*EdgeServer, error) {
+	if err := machCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if resolver == nil {
+		return nil, fmt.Errorf("fed: edge %d needs a resolver", id)
+	}
+	return &EdgeServer{
+		id:       id,
+		machCfg:  machCfg,
+		hyper:    hyper,
+		seed:     seed,
+		resolver: resolver,
+		params:   append([]float64(nil), initialParams...),
+		clients:  make(map[string]*rpc.Client),
+	}, nil
+}
+
+// Serve starts the edge's RPC listener and returns the bound address.
+func (e *EdgeServer) Serve(addr string) (string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Edge", e); err != nil {
+		return "", fmt.Errorf("fed: register edge service: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fed: edge listen: %w", err)
+	}
+	e.listener = ln
+	go acceptLoop(srv, ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and drops device-host connections.
+func (e *EdgeServer) Close() error {
+	e.mu.Lock()
+	for _, c := range e.clients {
+		c.Close()
+	}
+	e.clients = map[string]*rpc.Client{}
+	e.mu.Unlock()
+	if e.listener == nil {
+		return nil
+	}
+	return e.listener.Close()
+}
+
+// Ping implements the liveness RPC.
+func (e *EdgeServer) Ping(_ PingArgs, reply *PingReply) error {
+	reply.Role = fmt.Sprintf("edge-%d", e.id)
+	return nil
+}
+
+func (e *EdgeServer) client(addr string) (*rpc.Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.clients[addr]; ok {
+		return c, nil
+	}
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fed: edge %d dial %s: %w", e.id, addr, err)
+	}
+	e.clients[addr] = c
+	return c, nil
+}
+
+// groupByHost resolves each member to its host address and groups them, with
+// deterministic ordering.
+func (e *EdgeServer) groupByHost(members []int) (map[string][]int, []string, error) {
+	groups := map[string][]int{}
+	for _, m := range members {
+		addr, err := e.resolver(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		groups[addr] = append(groups[addr], m)
+	}
+	addrs := make([]string, 0, len(groups))
+	for a := range groups {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	return groups, addrs, nil
+}
+
+// Step implements the edge's share of Algorithm 1 for one time step.
+func (e *EdgeServer) Step(args EdgeStepArgs, reply *EdgeStepReply) error {
+	if args.Params != nil {
+		e.mu.Lock()
+		e.params = append(e.params[:0], args.Params...)
+		e.mu.Unlock()
+	}
+	if len(args.Members) == 0 {
+		e.mu.Lock()
+		reply.Params = append([]float64(nil), e.params...)
+		e.mu.Unlock()
+		return nil
+	}
+
+	groups, addrs, err := e.groupByHost(args.Members)
+	if err != nil {
+		return err
+	}
+
+	// Experience updating is device-side: fetch the members' current UCB
+	// estimates from their hosts.
+	estimate := make(map[int]float64, len(args.Members))
+	for _, addr := range addrs {
+		c, err := e.client(addr)
+		if err != nil {
+			return err
+		}
+		var rep EstimateReply
+		if err := c.Call("Device.Estimate", EstimateArgs{Step: args.Step, Devices: groups[addr]}, &rep); err != nil {
+			return fmt.Errorf("fed: edge %d estimate via %s: %w", e.id, addr, err)
+		}
+		for i, id := range groups[addr] {
+			estimate[id] = rep.Estimates[i]
+		}
+	}
+	estimates := make([]float64, len(args.Members))
+	for i, m := range args.Members {
+		estimates[i] = estimate[m]
+	}
+
+	// Edge sampling (Algorithm 3) and Bernoulli device sampling.
+	probs := sampling.EdgeSampling(e.machCfg, args.Capacity, estimates)
+	rng := rand.New(rand.NewSource(e.seed + int64(args.Step)*1009 + int64(e.id)))
+	var sampled []int
+	for i, m := range args.Members {
+		if rng.Float64() < probs[i] {
+			sampled = append(sampled, m)
+		}
+	}
+	if len(sampled) == 0 {
+		e.mu.Lock()
+		reply.Params = append([]float64(nil), e.params...)
+		e.mu.Unlock()
+		return nil
+	}
+
+	// Dispatch local training concurrently and aggregate.
+	e.mu.Lock()
+	base := append([]float64(nil), e.params...)
+	e.mu.Unlock()
+	type trainResult struct {
+		params []float64
+		err    error
+	}
+	results := make([]trainResult, len(sampled))
+	var wg sync.WaitGroup
+	for i, m := range sampled {
+		addr, err := e.resolver(m)
+		if err != nil {
+			return err
+		}
+		c, err := e.client(addr)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i, m int, c *rpc.Client) {
+			defer wg.Done()
+			var rep TrainReply
+			err := c.Call("Device.Train", TrainArgs{
+				Step: args.Step, Device: m, Params: base, Hyper: e.hyper,
+			}, &rep)
+			results[i] = trainResult{params: rep.Params, err: err}
+		}(i, m, c)
+	}
+	wg.Wait()
+	next := make([]float64, len(base))
+	inv := 1 / float64(len(sampled))
+	for _, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("fed: edge %d training: %w", e.id, r.err)
+		}
+		for j, v := range r.params {
+			next[j] += inv * v
+		}
+	}
+
+	e.mu.Lock()
+	e.params = next
+	reply.Params = append([]float64(nil), next...)
+	e.mu.Unlock()
+	reply.Sampled = len(sampled)
+	return nil
+}

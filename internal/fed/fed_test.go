@@ -1,0 +1,396 @@
+package fed
+
+import (
+	"math/rand"
+	"net/rpc"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/dataset"
+	"github.com/mach-fl/mach/internal/mobility"
+	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+func testArch(rng *rand.Rand) (*nn.Network, error) {
+	return nn.NewMLP("fed-test", 16, []int{8}, 10, rng), nil
+}
+
+// deployment spins up a full in-process cluster on loopback TCP: two device
+// hosts splitting the device population, `edges` edge servers, and a cloud.
+type deployment struct {
+	cloud   *Cloud
+	devices []*DeviceServer
+	edges   []*EdgeServer
+}
+
+func (d *deployment) close() {
+	if d.cloud != nil {
+		d.cloud.Close()
+	}
+	for _, e := range d.edges {
+		e.Close()
+	}
+	for _, s := range d.devices {
+		s.Close()
+	}
+}
+
+func deploy(t *testing.T, devices, edges, steps int) *deployment {
+	t.Helper()
+	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dataset.Partition(task, dataset.PartitionConfig{
+		Devices: devices, SamplesPerDevice: 40, TailRatio: 0.4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := task.Generate(rand.New(rand.NewSource(2)), 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := mobility.GenerateSchedule(3, edges, devices, steps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := &deployment{}
+	machCfg := sampling.DefaultMACHConfig()
+
+	// Two device hosts, splitting the population in half.
+	table := map[int]string{}
+	for h := 0; h < 2; h++ {
+		data := map[int]*dataset.Dataset{}
+		for m := h * devices / 2; m < (h+1)*devices/2; m++ {
+			data[m] = parts[m]
+		}
+		srv, err := NewDeviceServer(testArch, data, machCfg, int64(100+h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.devices = append(d.devices, srv)
+		for m := range data {
+			table[m] = addr
+		}
+	}
+
+	hyper := Hyper{LocalEpochs: 2, BatchSize: 4, LearningRate: 0.05}
+	rng := rand.New(rand.NewSource(4))
+	base, err := testArch(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edgeAddrs []string
+	for n := 0; n < edges; n++ {
+		e, err := NewEdgeServer(n, machCfg, hyper, 5, StaticResolver(table), base.ParamVector())
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := e.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.edges = append(d.edges, e)
+		edgeAddrs = append(edgeAddrs, addr)
+	}
+
+	var hostAddrs []string
+	for _, s := range d.devices {
+		hostAddrs = append(hostAddrs, s.listener.Addr().String())
+	}
+	cloud, err := NewCloud(CloudConfig{
+		Steps: steps, CloudInterval: 5, Participation: 0.5, EvalEvery: 5, Seed: 6,
+	}, testArch, sched, test, edgeAddrs, hostAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cloud = cloud
+	return d
+}
+
+func TestDistributedTrainingLearns(t *testing.T) {
+	d := deploy(t, 8, 2, 30)
+	defer d.close()
+	hist, err := d.cloud.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() == 0 {
+		t.Fatal("no evaluations")
+	}
+	if hist.FinalAccuracy() < 0.3 {
+		t.Fatalf("distributed run failed to learn: final accuracy %.3f", hist.FinalAccuracy())
+	}
+	if len(d.cloud.GlobalParams()) == 0 {
+		t.Fatal("empty global model")
+	}
+}
+
+func TestDeviceServerRPCs(t *testing.T) {
+	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := task.Generate(rand.New(rand.NewSource(1)), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewDeviceServer(testArch, map[int]*dataset.Dataset{3: data}, sampling.DefaultMACHConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var ping PingReply
+	if err := client.Call("Device.Ping", PingArgs{}, &ping); err != nil {
+		t.Fatal(err)
+	}
+	if ping.Role != "device-host" {
+		t.Fatalf("role %q", ping.Role)
+	}
+
+	// Estimate before any training: pure exploration score.
+	var est EstimateReply
+	if err := client.Call("Device.Estimate", EstimateArgs{Step: 10, Devices: []int{3}}, &est); err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Estimates) != 1 || est.Estimates[0] <= 0 {
+		t.Fatalf("estimates %v", est.Estimates)
+	}
+	// Unknown device errors.
+	if err := client.Call("Device.Estimate", EstimateArgs{Step: 10, Devices: []int{99}}, &est); err == nil {
+		t.Fatal("expected error for unknown device")
+	}
+
+	// Train round-trip: returns params and I gradient norms, and the
+	// experience changes the estimate after a cloud round.
+	rng := rand.New(rand.NewSource(2))
+	base, err := testArch(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr TrainReply
+	args := TrainArgs{
+		Step: 0, Device: 3, Params: base.ParamVector(),
+		Hyper: Hyper{LocalEpochs: 3, BatchSize: 4, LearningRate: 0.1},
+	}
+	if err := client.Call("Device.Train", args, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.SqNorms) != 3 {
+		t.Fatalf("%d gradient norms, want 3", len(tr.SqNorms))
+	}
+	if len(tr.Params) != len(args.Params) {
+		t.Fatal("parameter length changed")
+	}
+	changed := false
+	for i := range tr.Params {
+		if tr.Params[i] != args.Params[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("training did not change the model")
+	}
+	var cr CloudRoundReply
+	if err := client.Call("Device.CloudRound", CloudRoundArgs{Step: 1}, &cr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad hyperparameters are rejected.
+	bad := args
+	bad.Hyper.BatchSize = 0
+	if err := client.Call("Device.Train", bad, &tr); err == nil {
+		t.Fatal("expected error for invalid hyperparameters")
+	}
+
+	// Class distributions round-trip.
+	var cd ClassDistReply
+	if err := client.Call("Device.ClassDist", ClassDistArgs{Devices: []int{3}}, &cd); err != nil {
+		t.Fatal(err)
+	}
+	if len(cd.Distributions) != 1 || len(cd.Distributions[0]) != 10 {
+		t.Fatalf("class distributions %v", cd.Distributions)
+	}
+}
+
+func TestEdgeServerValidation(t *testing.T) {
+	if _, err := NewEdgeServer(0, sampling.DefaultMACHConfig(), Hyper{}, 1, nil, nil); err == nil {
+		t.Fatal("expected error for nil resolver")
+	}
+	bad := sampling.DefaultMACHConfig()
+	bad.Alpha = 5
+	if _, err := NewEdgeServer(0, bad, Hyper{}, 1, StaticResolver(nil), nil); err == nil {
+		t.Fatal("expected error for invalid MACH config")
+	}
+	res := StaticResolver(map[int]string{1: "addr"})
+	if _, err := res(2); err == nil {
+		t.Fatal("expected resolver miss")
+	}
+}
+
+func TestCloudConfigValidation(t *testing.T) {
+	valid := CloudConfig{Steps: 10, CloudInterval: 5, Participation: 0.5}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*CloudConfig)
+	}{
+		{"zero steps", func(c *CloudConfig) { c.Steps = 0 }},
+		{"zero interval", func(c *CloudConfig) { c.CloudInterval = 0 }},
+		{"participation", func(c *CloudConfig) { c.Participation = 0 }},
+		{"negative eval", func(c *CloudConfig) { c.EvalEvery = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := valid
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestNewDeviceServerValidation(t *testing.T) {
+	if _, err := NewDeviceServer(testArch, nil, sampling.DefaultMACHConfig(), 1); err == nil {
+		t.Fatal("expected error for empty device map")
+	}
+	empty := dataset.NewDataset("empty", 1, 4, 4, 10)
+	if _, err := NewDeviceServer(testArch, map[int]*dataset.Dataset{0: empty}, sampling.DefaultMACHConfig(), 1); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestEdgeStepFailsOnDeadDeviceHost(t *testing.T) {
+	base, err := testArch(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolver points at a port nothing listens on.
+	e, err := NewEdgeServer(0, sampling.DefaultMACHConfig(),
+		Hyper{LocalEpochs: 1, BatchSize: 2, LearningRate: 0.1}, 1,
+		StaticResolver(map[int]string{0: "127.0.0.1:1"}), base.ParamVector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var rep EdgeStepReply
+	if err := e.Step(EdgeStepArgs{Step: 0, Members: []int{0}, Capacity: 1}, &rep); err == nil {
+		t.Fatal("expected dial error for dead device host")
+	}
+}
+
+func TestTrainRejectsWrongParameterLength(t *testing.T) {
+	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := task.Generate(rand.New(rand.NewSource(1)), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewDeviceServer(testArch, map[int]*dataset.Dataset{0: data}, sampling.DefaultMACHConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var tr TrainReply
+	err = client.Call("Device.Train", TrainArgs{
+		Device: 0, Params: []float64{1, 2, 3},
+		Hyper: Hyper{LocalEpochs: 1, BatchSize: 2, LearningRate: 0.1},
+	}, &tr)
+	if err == nil {
+		t.Fatal("expected parameter-length error over RPC")
+	}
+}
+
+func TestEdgeStepEmptyMembersKeepsModel(t *testing.T) {
+	base, err := testArch(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := base.ParamVector()
+	e, err := NewEdgeServer(0, sampling.DefaultMACHConfig(),
+		Hyper{LocalEpochs: 1, BatchSize: 2, LearningRate: 0.1}, 1,
+		StaticResolver(nil), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var rep EdgeStepReply
+	if err := e.Step(EdgeStepArgs{Step: 3, Members: nil, Capacity: 2}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sampled != 0 || len(rep.Params) != len(params) {
+		t.Fatalf("empty edge step changed state: sampled=%d", rep.Sampled)
+	}
+	for i := range params {
+		if rep.Params[i] != params[i] {
+			t.Fatal("edge model changed without participants")
+		}
+	}
+}
+
+func TestNewCloudValidation(t *testing.T) {
+	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := task.Generate(rand.New(rand.NewSource(1)), 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := mobility.GenerateSchedule(2, 2, 4, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CloudConfig{Steps: 10, CloudInterval: 5, Participation: 0.5, Seed: 1}
+
+	if _, err := NewCloud(cfg, testArch, nil, test, []string{"a", "b"}, nil); err == nil {
+		t.Fatal("expected nil-schedule error")
+	}
+	if _, err := NewCloud(cfg, testArch, sched, test, []string{"only-one"}, nil); err == nil {
+		t.Fatal("expected edge-count mismatch error")
+	}
+	long := cfg
+	long.Steps = 99
+	if _, err := NewCloud(long, testArch, sched, test, []string{"a", "b"}, nil); err == nil {
+		t.Fatal("expected short-schedule error")
+	}
+	if _, err := NewCloud(cfg, testArch, sched, nil, []string{"a", "b"}, nil); err == nil {
+		t.Fatal("expected empty-test error")
+	}
+	// Valid inputs but unreachable edge addresses: dial must fail.
+	if _, err := NewCloud(cfg, testArch, sched, test, []string{"127.0.0.1:1", "127.0.0.1:1"}, nil); err == nil {
+		t.Fatal("expected dial error")
+	}
+}

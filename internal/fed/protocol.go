@@ -1,0 +1,102 @@
+// Package fed runs the HFL system of internal/hfl as a real distributed
+// deployment: device hosts, edge servers and a cloud coordinator are separate
+// processes (or goroutines in tests) communicating over TCP with net/rpc and
+// gob encoding.
+//
+// The roles mirror the paper's architecture (§II):
+//
+//   - a device host (DeviceServer) owns a set of logical mobile devices —
+//     their local datasets, their models, and, crucially, their gradient
+//     experience buffers (Algorithm 2 runs ON the device, which is what
+//     makes the experience travel with the device across edges);
+//   - an edge server (EdgeServer) executes one edge's share of a time step:
+//     it queries its current members' G̃² estimates, computes the sampling
+//     strategy (Algorithm 3), dispatches local training, and aggregates the
+//     returned models (Eq. 5);
+//   - the cloud (Cloud) owns the mobility schedule B^t, drives time steps,
+//     aggregates edge models every T_g steps (Eq. 6), and redistributes the
+//     global model.
+//
+// The deployment produces the same algorithm as the in-process simulator;
+// an integration test trains the same tiny task both ways and checks that
+// the distributed run learns.
+package fed
+
+// Hyper carries the local-update hyperparameters of Eq. (4) to devices.
+type Hyper struct {
+	LocalEpochs  int
+	BatchSize    int
+	LearningRate float64
+}
+
+// EstimateArgs asks a device host for the current UCB gradient-norm
+// estimates G̃² of some of its devices (Eq. 15).
+type EstimateArgs struct {
+	Step    int
+	Devices []int
+}
+
+// EstimateReply returns the estimates aligned with EstimateArgs.Devices.
+type EstimateReply struct {
+	Estimates []float64
+}
+
+// TrainArgs asks one logical device to run local updating from the given
+// edge model parameters.
+type TrainArgs struct {
+	Step   int
+	Device int
+	Params []float64
+	Hyper  Hyper
+}
+
+// TrainReply returns the updated local model and the squared norms of the
+// local stochastic gradients (the training experience of Algorithm 2).
+type TrainReply struct {
+	Params  []float64
+	SqNorms []float64
+}
+
+// CloudRoundArgs tells device hosts an edge-to-cloud communication happened
+// at step T, so experience buffers fold (Algorithm 2, lines 2-4).
+type CloudRoundArgs struct {
+	Step int
+}
+
+// CloudRoundReply is empty.
+type CloudRoundReply struct{}
+
+// ClassDistArgs asks for the label distributions of some devices (used by
+// the class-balance strategy).
+type ClassDistArgs struct {
+	Devices []int
+}
+
+// ClassDistReply returns one distribution per requested device.
+type ClassDistReply struct {
+	Distributions [][]float64
+}
+
+// EdgeStepArgs asks an edge server to execute one time step for its edge.
+type EdgeStepArgs struct {
+	Step     int
+	Members  []int
+	Capacity float64
+	// Params, when non-nil, resets the edge model first (sent by the
+	// cloud after each global aggregation).
+	Params []float64
+}
+
+// EdgeStepReply returns the updated edge model and how many devices trained.
+type EdgeStepReply struct {
+	Params  []float64
+	Sampled int
+}
+
+// PingArgs/PingReply support liveness checks.
+type PingArgs struct{}
+
+// PingReply carries the responder's role for diagnostics.
+type PingReply struct {
+	Role string
+}

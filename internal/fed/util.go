@@ -1,0 +1,5 @@
+package fed
+
+import "math/rand"
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

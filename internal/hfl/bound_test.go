@@ -1,0 +1,134 @@
+package hfl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+func validBoundParams() BoundParams {
+	return BoundParams{
+		InitialGap:    2.0,
+		L:             1.0,
+		Gamma:         0.01,
+		LocalEpochs:   10,
+		CloudInterval: 5,
+		Devices:       100,
+	}
+}
+
+func TestBoundParamsValidate(t *testing.T) {
+	if err := validBoundParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*BoundParams)
+	}{
+		{"negative gap", func(p *BoundParams) { p.InitialGap = -1 }},
+		{"zero L", func(p *BoundParams) { p.L = 0 }},
+		{"zero gamma", func(p *BoundParams) { p.Gamma = 0 }},
+		{"zero epochs", func(p *BoundParams) { p.LocalEpochs = 0 }},
+		{"zero interval", func(p *BoundParams) { p.CloudInterval = 0 }},
+		{"zero devices", func(p *BoundParams) { p.Devices = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := validBoundParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestVarianceCoefficientHandComputed(t *testing.T) {
+	p := BoundParams{InitialGap: 1, L: 2, Gamma: 0.1, LocalEpochs: 5, CloudInterval: 3, Devices: 4}
+	// γLI = 0.1·2·5 = 1; γLI(2+γLI) = 3.
+	// 4(1+M)Tg²L²γ² = 4·5·9·4·0.01 = 7.2. Total = 10.2.
+	// Coefficient = 10.2 / (2·4·T) with T = 10 → 0.1275.
+	got := p.VarianceCoefficient(10)
+	if math.Abs(got-0.1275) > 1e-12 {
+		t.Fatalf("VarianceCoefficient = %v, want 0.1275", got)
+	}
+}
+
+func TestTheorem1BoundBehaviour(t *testing.T) {
+	p := validBoundParams()
+	uniformTerms := make([]float64, 50)
+	for i := range uniformTerms {
+		uniformTerms[i] = 100
+	}
+	b1, err := Theorem1Bound(p, uniformTerms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 <= 0 {
+		t.Fatalf("bound %v not positive", b1)
+	}
+	// Smaller variance terms (better sampling) must tighten the bound.
+	smaller := make([]float64, 50)
+	for i := range smaller {
+		smaller[i] = 50
+	}
+	b2, err := Theorem1Bound(p, smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 >= b1 {
+		t.Fatalf("smaller variance terms did not tighten the bound: %v vs %v", b2, b1)
+	}
+	// Errors.
+	if _, err := Theorem1Bound(p, nil); err == nil {
+		t.Fatal("expected error for empty terms")
+	}
+	if _, err := Theorem1Bound(p, []float64{-1}); err == nil {
+		t.Fatal("expected error for negative term")
+	}
+	bad := p
+	bad.L = 0
+	if _, err := Theorem1Bound(bad, uniformTerms); err == nil {
+		t.Fatal("expected error for invalid params")
+	}
+}
+
+// Property: replacing any strategy's probabilities with the closed-form
+// optimum never increases the Theorem 1 bound — the bound is monotone in the
+// per-edge variance terms, so edge-by-edge minimization (Remark 2) is
+// globally optimal.
+func TestBoundMonotoneInVarianceTerms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := validBoundParams()
+		n := 5 + rng.Intn(5)
+		norms := make([]float64, n)
+		for i := range norms {
+			norms[i] = 0.5 + rng.Float64()*4
+		}
+		capacity := 1 + rng.Float64()*3
+		// Uniform vs optimal per-step variance terms over T=20 steps.
+		uq := make([]float64, n)
+		for i := range uq {
+			uq[i] = capacity / float64(n)
+		}
+		uniform := sampling.VarianceTerm(norms, uq)
+		optimal := sampling.VarianceTerm(norms, sampling.OptimalProbabilities(capacity, norms))
+		mk := func(v float64) []float64 {
+			out := make([]float64, 20)
+			for i := range out {
+				out[i] = v
+			}
+			return out
+		}
+		bu, err1 := Theorem1Bound(p, mk(uniform))
+		bo, err2 := Theorem1Bound(p, mk(optimal))
+		return err1 == nil && err2 == nil && bo <= bu+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package hfl implements the paper's hierarchical federated learning system
+// (Algorithm 1) over mobile devices: Bernoulli device sampling under edge
+// channel capacities (Eq. 3), local SGD updating (Eq. 4), unbiased
+// inverse-probability edge aggregation (Eq. 5), and periodic edge-to-cloud
+// aggregation (Eq. 6). Device mobility enters through a mobility.Schedule —
+// the realized indicator B^t_{n,m} — so every edge trains on a different,
+// time-varying device set.
+//
+// Edges execute concurrently within a time step; all randomness is derived
+// deterministically from the experiment seed so runs are reproducible
+// regardless of goroutine interleaving.
+package hfl
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/mach-fl/mach/internal/dataset"
+	"github.com/mach-fl/mach/internal/mobility"
+	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// ArchFunc constructs the model architecture. Every device, every edge and
+// the cloud instantiate structurally identical networks from it; parameters
+// flow between them as flat vectors.
+type ArchFunc func(rng *rand.Rand) (*nn.Network, error)
+
+// Config parameterizes one HFL training run.
+type Config struct {
+	// Steps is T, the number of FL time steps.
+	Steps int
+	// CloudInterval is T_g, the number of time steps between edge-to-cloud
+	// communications.
+	CloudInterval int
+	// LocalEpochs is I, the number of local SGD steps per sampled device
+	// per time step (Eq. 4).
+	LocalEpochs int
+	// BatchSize is the local minibatch size |ξ|.
+	BatchSize int
+	// LearningRate is the device learning rate γ.
+	LearningRate float64
+	// LRDecay multiplies the learning rate after every cloud round
+	// (1 = constant, the paper reports only an initial rate).
+	LRDecay float64
+	// Participation is the expected fraction of all devices training per
+	// step; the per-edge capacity is K_n = Participation·|M|/|N| (the
+	// paper's "average of all edge channel capacity", §IV-A2).
+	Participation float64
+	// EvalEvery evaluates the global model every EvalEvery steps
+	// (0 = every cloud round).
+	EvalEvery int
+	// EvalBatch caps how many test samples are used per evaluation
+	// (0 = all).
+	EvalBatch int
+	// Seed drives every random choice of the run.
+	Seed int64
+	// Aggregation selects the edge aggregation rule applied to unbiased
+	// strategies (active-selection strategies like class-balance always
+	// use AggPlain). See the Aggregation constants.
+	Aggregation Aggregation
+	// UploadFailureProb drops a sampled device's model after local
+	// training with this probability, modelling the mobility-induced
+	// disconnections of Feng et al. (the paper's reliability reference
+	// [42]): a device that moves away mid-step cannot upload to the edge
+	// that sampled it. Training experience is still recorded on the device
+	// (it trained); only the upload is lost. 0 disables failures.
+	UploadFailureProb float64
+}
+
+// Aggregation selects how sampled local models merge into the edge model.
+type Aggregation int
+
+// Edge aggregation modes.
+const (
+	// AggInverseUpdate applies the inverse-probability weights of Eq. (5)
+	// to the model *updates*: w_n ← w_n + Σ 1/(|M|q)·(w_m − w_n). It has
+	// the same expectation as Eq. (5) (Lemma 1) without the multiplicative
+	// norm noise of the literal model-space form, and keeps the gradient
+	// estimate exactly unbiased. This is the theory-faithful mode.
+	AggInverseUpdate Aggregation = iota + 1
+	// AggPlain averages the sampled local models with equal weights, the
+	// standard FedAvg-over-participants rule used by practical FL systems
+	// (Oort, Fed-CBS, the biased-selection analysis of Cho et al.). Under
+	// a tilted sampling strategy the expected update is biased toward
+	// high-probability devices, which is precisely the boosting effect
+	// that makes loss/norm-guided selection fast in practice. The
+	// benchmark presets use this mode; DESIGN.md §1 records the choice.
+	AggPlain
+	// AggLiteralEq5 is the paper's Eq. (5) verbatim in model space:
+	// w_n ← Σ 1/(|M|q)·w_m. When the realized Σ 1/(|M|q) deviates from 1
+	// the whole edge model is rescaled — the instability §III-B2 warns
+	// about. Exposed for the aggregation ablation bench.
+	AggLiteralEq5
+)
+
+// String implements fmt.Stringer.
+func (a Aggregation) String() string {
+	switch a {
+	case AggInverseUpdate:
+		return "inverse-update"
+	case AggPlain:
+		return "plain"
+	case AggLiteralEq5:
+		return "literal-eq5"
+	default:
+		return fmt.Sprintf("aggregation(%d)", int(a))
+	}
+}
+
+// DefaultConfig mirrors the paper's MNIST/FMNIST setup at simulator scale.
+func DefaultConfig() Config {
+	return Config{
+		Steps:         100,
+		CloudInterval: 5,
+		LocalEpochs:   10,
+		BatchSize:     8,
+		LearningRate:  0.01,
+		LRDecay:       1,
+		Participation: 0.5,
+		Seed:          1,
+		Aggregation:   AggInverseUpdate,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Steps <= 0:
+		return fmt.Errorf("hfl: steps %d must be positive", c.Steps)
+	case c.CloudInterval <= 0:
+		return fmt.Errorf("hfl: cloud interval %d must be positive", c.CloudInterval)
+	case c.LocalEpochs <= 0:
+		return fmt.Errorf("hfl: local epochs %d must be positive", c.LocalEpochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("hfl: batch size %d must be positive", c.BatchSize)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("hfl: learning rate %v must be positive", c.LearningRate)
+	case c.LRDecay <= 0 || c.LRDecay > 1:
+		return fmt.Errorf("hfl: lr decay %v outside (0,1]", c.LRDecay)
+	case c.Participation <= 0 || c.Participation > 1:
+		return fmt.Errorf("hfl: participation %v outside (0,1]", c.Participation)
+	case c.EvalEvery < 0:
+		return fmt.Errorf("hfl: eval interval %d negative", c.EvalEvery)
+	case c.EvalBatch < 0:
+		return fmt.Errorf("hfl: eval batch %d negative", c.EvalBatch)
+	case c.Aggregation != 0 && (c.Aggregation < AggInverseUpdate || c.Aggregation > AggLiteralEq5):
+		return fmt.Errorf("hfl: unknown aggregation mode %d", c.Aggregation)
+	case c.UploadFailureProb < 0 || c.UploadFailureProb >= 1:
+		return fmt.Errorf("hfl: upload failure probability %v outside [0,1)", c.UploadFailureProb)
+	}
+	return nil
+}
+
+// aggregation returns the configured mode, defaulting to AggInverseUpdate.
+func (c Config) aggregation() Aggregation {
+	if c.Aggregation == 0 {
+		return AggInverseUpdate
+	}
+	return c.Aggregation
+}
+
+// device is one mobile device: its local data and a reusable model instance.
+type device struct {
+	id    int
+	data  *dataset.Dataset
+	model *nn.Network
+	opt   *nn.SGD
+	rng   *rand.Rand
+	dist  []float64 // cached local label distribution
+}
+
+// Engine runs Algorithm 1.
+type Engine struct {
+	cfg      Config
+	arch     ArchFunc
+	schedule *mobility.Schedule
+	strategy sampling.Strategy
+	observer sampling.Observer // strategy's Observer side, when implemented
+	devices  []*device
+	test     *dataset.Dataset
+
+	global   []float64   // cloud model parameters w^t
+	edge     [][]float64 // edge model parameters w^t_n
+	evalNet  *nn.Network
+	probeNet *nn.Network
+	capacity float64 // K_n, identical across edges as in the paper
+}
+
+// New assembles an engine. deviceData holds one local dataset per device and
+// must match the schedule's device count; test is the held-out global test
+// set.
+func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset.Dataset, schedule *mobility.Schedule, strategy sampling.Strategy) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if schedule == nil {
+		return nil, fmt.Errorf("hfl: nil schedule")
+	}
+	if err := schedule.Validate(); err != nil {
+		return nil, fmt.Errorf("hfl: invalid schedule: %w", err)
+	}
+	if len(deviceData) != schedule.Devices {
+		return nil, fmt.Errorf("hfl: %d device datasets for %d scheduled devices", len(deviceData), schedule.Devices)
+	}
+	if schedule.Steps < cfg.Steps {
+		return nil, fmt.Errorf("hfl: schedule covers %d steps, config needs %d", schedule.Steps, cfg.Steps)
+	}
+	if test == nil || test.Len() == 0 {
+		return nil, fmt.Errorf("hfl: empty test set")
+	}
+	if strategy == nil {
+		return nil, fmt.Errorf("hfl: nil strategy")
+	}
+
+	initRNG := rand.New(rand.NewSource(cfg.Seed))
+	base, err := arch(initRNG)
+	if err != nil {
+		return nil, fmt.Errorf("hfl: build architecture: %w", err)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		arch:     arch,
+		schedule: schedule,
+		strategy: strategy,
+		devices:  make([]*device, len(deviceData)),
+		test:     test,
+		global:   base.ParamVector(),
+		evalNet:  base,
+		probeNet: base.Clone(),
+		capacity: cfg.Participation * float64(schedule.Devices) / float64(schedule.Edges),
+	}
+	if obs, ok := strategy.(sampling.Observer); ok {
+		e.observer = obs
+	}
+	for m, data := range deviceData {
+		if data == nil || data.Len() == 0 {
+			return nil, fmt.Errorf("hfl: device %d has no data", m)
+		}
+		e.devices[m] = &device{
+			id:    m,
+			data:  data,
+			model: base.Clone(),
+			opt:   nn.NewSGD(cfg.LearningRate),
+			rng:   rand.New(rand.NewSource(mix(cfg.Seed, 0x9E3779B9, int64(m)))),
+			dist:  data.ClassDistribution(),
+		}
+	}
+	e.edge = make([][]float64, schedule.Edges)
+	for n := range e.edge {
+		e.edge[n] = append([]float64(nil), e.global...)
+	}
+	return e, nil
+}
+
+// Capacity returns K_n, the per-edge expected participation budget.
+func (e *Engine) Capacity() float64 { return e.capacity }
+
+// SaveCheckpoint writes the current global model so a run can be inspected
+// or resumed in another process.
+func (e *Engine) SaveCheckpoint(w io.Writer) error {
+	if err := e.evalNet.SetParamVector(e.global); err != nil {
+		return err
+	}
+	blob, err := e.evalNet.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("hfl: marshal checkpoint: %w", err)
+	}
+	if _, err := w.Write(blob); err != nil {
+		return fmt.Errorf("hfl: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a global model written by SaveCheckpoint into the
+// cloud and every edge, so a subsequent Run continues from it.
+func (e *Engine) LoadCheckpoint(r io.Reader) error {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("hfl: read checkpoint: %w", err)
+	}
+	if err := e.evalNet.UnmarshalBinary(blob); err != nil {
+		return fmt.Errorf("hfl: restore checkpoint: %w", err)
+	}
+	e.global = e.evalNet.ParamVector()
+	for n := range e.edge {
+		copy(e.edge[n], e.global)
+	}
+	return nil
+}
+
+// GlobalParams returns a copy of the current global model parameters.
+func (e *Engine) GlobalParams() []float64 {
+	return append([]float64(nil), e.global...)
+}
+
+// mix produces well-separated deterministic seeds from components.
+func mix(parts ...int64) int64 {
+	h := int64(1469598103934665603)
+	for _, p := range parts {
+		h ^= p
+		h *= 1099511628211
+	}
+	return h
+}

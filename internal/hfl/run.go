@@ -1,0 +1,355 @@
+package hfl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/mach-fl/mach/internal/metrics"
+	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// Result summarizes one training run.
+type Result struct {
+	// History holds the global-model evaluations.
+	History *metrics.History
+	// StepsRun is how many time steps executed (smaller than Config.Steps
+	// when an accuracy target stopped the run early).
+	StepsRun int
+	// TotalSampled counts device participations over the whole run.
+	TotalSampled int
+	// SampledPerStep records how many devices trained at each step.
+	SampledPerStep []int
+	// ReachedTarget reports whether the early-stop accuracy target was hit,
+	// and TargetStep the step at which it happened.
+	ReachedTarget bool
+	TargetStep    int
+	// Comm tallies the communication volume of the run.
+	Comm CommStats
+}
+
+// CommStats counts the model transfers of a run, valued at 8 bytes per
+// parameter (float64). Device downlink counts one edge-model download per
+// sampled device per step (Eq. 4's w^t_n distribution); device uplink one
+// local-model upload per successful participation (Eq. 5); cloud volume one
+// edge-model exchange per edge per cloud round, both directions (Eq. 6).
+type CommStats struct {
+	DeviceUplinkBytes   int64
+	DeviceDownlinkBytes int64
+	CloudBytes          int64
+}
+
+// Total returns the run's total transferred bytes.
+func (c CommStats) Total() int64 {
+	return c.DeviceUplinkBytes + c.DeviceDownlinkBytes + c.CloudBytes
+}
+
+// RunOption customizes a call to Run.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	target float64
+	hasTgt bool
+	stepFn func(step, sampled int)
+	evalFn func(step int, accuracy, loss float64)
+}
+
+// WithTarget stops the run at the first evaluation whose accuracy reaches
+// target, the evaluation's time-to-accuracy protocol.
+func WithTarget(target float64) RunOption {
+	return func(o *runOptions) { o.target, o.hasTgt = target, true }
+}
+
+// WithStepHook invokes fn after every time step with the number of devices
+// that trained.
+func WithStepHook(fn func(step, sampled int)) RunOption {
+	return func(o *runOptions) { o.stepFn = fn }
+}
+
+// WithEvalHook invokes fn after every global-model evaluation.
+func WithEvalHook(fn func(step int, accuracy, loss float64)) RunOption {
+	return func(o *runOptions) { o.evalFn = fn }
+}
+
+// localResult is one sampled device's contribution to edge aggregation.
+type localResult struct {
+	params []float64
+	weight float64 // 1/(|M_n|·q) for unbiased strategies, 1 for biased
+	size   int     // |D_m|: plain aggregation weights by dataset size
+}
+
+// Run executes Algorithm 1 and returns the training history.
+func (e *Engine) Run(opts ...RunOption) (*Result, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res := &Result{History: &metrics.History{}}
+	probeNets := make([]*nn.Network, e.schedule.Edges)
+	for n := range probeNets {
+		probeNets[n] = e.evalNet.Clone()
+	}
+	probeOpt := nn.NewSGD(0) // zero step: probing measures gradients only
+
+	modelBytes := int64(len(e.global)) * 8
+	for t := 0; t < e.cfg.Steps; t++ {
+		counts := make([]edgeStepCounts, e.schedule.Edges)
+		var wg sync.WaitGroup
+		errs := make([]error, e.schedule.Edges)
+		for n := 0; n < e.schedule.Edges; n++ {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				counts[n], errs[n] = e.edgeStep(t, n, probeNets[n], probeOpt)
+			}(n)
+		}
+		wg.Wait()
+		for n, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("hfl: step %d edge %d: %w", t, n, err)
+			}
+		}
+		stepSampled := 0
+		for _, c := range counts {
+			stepSampled += c.uploaded
+			res.Comm.DeviceDownlinkBytes += int64(c.trained) * modelBytes
+			res.Comm.DeviceUplinkBytes += int64(c.uploaded) * modelBytes
+		}
+		res.SampledPerStep = append(res.SampledPerStep, stepSampled)
+		res.TotalSampled += stepSampled
+		res.StepsRun = t + 1
+		if o.stepFn != nil {
+			o.stepFn(t, stepSampled)
+		}
+
+		cloudRound := (t+1)%e.cfg.CloudInterval == 0
+		if cloudRound {
+			e.cloudAggregate(t)
+			// Every edge uploads its model and downloads the new global.
+			res.Comm.CloudBytes += 2 * int64(e.schedule.Edges) * modelBytes
+			if e.observer != nil {
+				e.observer.CloudRound(t + 1)
+			}
+			if e.cfg.LRDecay < 1 {
+				for _, d := range e.devices {
+					d.opt.SetLearningRate(d.opt.LearningRate() * e.cfg.LRDecay)
+				}
+			}
+		}
+		evalDue := cloudRound
+		if e.cfg.EvalEvery > 0 {
+			evalDue = (t+1)%e.cfg.EvalEvery == 0
+		}
+		if evalDue || t == e.cfg.Steps-1 {
+			acc, loss := e.evaluate(t)
+			res.History.Add(metrics.Point{Step: t + 1, Accuracy: acc, Loss: loss})
+			if o.evalFn != nil {
+				o.evalFn(t+1, acc, loss)
+			}
+			if o.hasTgt && acc >= o.target {
+				res.ReachedTarget = true
+				res.TargetStep = t + 1
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// edgeStepCounts reports one edge's activity in one step: how many devices
+// trained (downloaded the edge model and ran local SGD) and how many of
+// those successfully uploaded.
+type edgeStepCounts struct {
+	trained  int
+	uploaded int
+}
+
+// edgeStep performs device sampling, local updating and edge aggregation for
+// one edge at one time step (Algorithm 1, lines 3-11).
+func (e *Engine) edgeStep(t, n int, probeNet *nn.Network, probeOpt *nn.SGD) (edgeStepCounts, error) {
+	var counts edgeStepCounts
+	members := e.schedule.MembersAt(t, n)
+	if len(members) == 0 {
+		return counts, nil
+	}
+	edgeRNG := rand.New(rand.NewSource(mix(e.cfg.Seed, int64(t)+1, int64(n)+101)))
+	ctx := &sampling.EdgeContext{
+		Step:     t,
+		Edge:     n,
+		Capacity: e.capacity,
+		Members:  members,
+		RNG:      edgeRNG,
+		ClassDist: func(m int) []float64 {
+			return e.devices[m].dist
+		},
+		ProbeGradNorm: func(m int) float64 {
+			return e.probeGradNorm(probeNet, probeOpt, t, n, m)
+		},
+	}
+	probs := e.strategy.Probabilities(ctx)
+	if len(probs) != len(members) {
+		return counts, fmt.Errorf("strategy %q returned %d probabilities for %d members", e.strategy.Name(), len(probs), len(members))
+	}
+
+	var results []localResult
+	unbiased := e.strategy.Unbiased()
+	for i, m := range members {
+		q := probs[i]
+		if edgeRNG.Float64() >= q {
+			continue // not sampled: 1^t_{m,n} = 0
+		}
+		if unbiased && q <= 0 {
+			return counts, fmt.Errorf("strategy %q sampled device %d with probability %v", e.strategy.Name(), m, q)
+		}
+		dev := e.devices[m]
+		sqNorms, err := e.localUpdate(dev, e.edge[n])
+		if err != nil {
+			return counts, fmt.Errorf("device %d: %w", m, err)
+		}
+		counts.trained++
+		if e.observer != nil {
+			e.observer.Observe(t, n, m, sqNorms)
+		}
+		if e.cfg.UploadFailureProb > 0 && edgeRNG.Float64() < e.cfg.UploadFailureProb {
+			continue // device moved away before uploading (see Config)
+		}
+		weight := 1.0
+		if unbiased {
+			weight = 1 / (float64(len(members)) * q) // Eq. (5)
+		}
+		results = append(results, localResult{params: dev.model.ParamVector(), weight: weight, size: dev.data.Len()})
+	}
+	e.aggregateEdge(n, results, unbiased)
+	counts.uploaded = len(results)
+	return counts, nil
+}
+
+// localUpdate runs I local SGD steps from the edge model (Eq. 4) and returns
+// the squared norms of the I stochastic gradients.
+func (e *Engine) localUpdate(dev *device, edgeParams []float64) ([]float64, error) {
+	if err := dev.model.SetParamVector(edgeParams); err != nil {
+		return nil, err
+	}
+	sqNorms := make([]float64, e.cfg.LocalEpochs)
+	for tau := 0; tau < e.cfg.LocalEpochs; tau++ {
+		x, y := dev.data.RandomBatch(dev.rng, e.cfg.BatchSize)
+		_, gn := dev.model.TrainStep(x, y, dev.opt)
+		sqNorms[tau] = gn
+	}
+	return sqNorms, nil
+}
+
+// aggregateEdge merges sampled local models into the edge model. For
+// unbiased strategies the inverse-probability weights of Eq. (5) are applied
+// to the model updates (or, with AggLiteralEq5, to the models themselves); for
+// biased active-selection strategies a plain average over participants is
+// used.
+func (e *Engine) aggregateEdge(n int, results []localResult, unbiased bool) {
+	if len(results) == 0 {
+		return // no participants: edge model carries over
+	}
+	cur := e.edge[n]
+	mode := e.cfg.aggregation()
+	if !unbiased {
+		mode = AggPlain // active selection always plain-averages
+	}
+	switch mode {
+	case AggPlain:
+		// FedAvg over participants, weighted by local dataset size |D_m|
+		// (equal sizes reduce to a plain mean, the paper's simplification).
+		total := 0
+		for _, r := range results {
+			total += r.size
+		}
+		next := make([]float64, len(cur))
+		for _, r := range results {
+			w := float64(r.size) / float64(total)
+			for j, v := range r.params {
+				next[j] += w * v
+			}
+		}
+		e.edge[n] = next
+	case AggLiteralEq5:
+		next := make([]float64, len(cur))
+		for _, r := range results {
+			for j, v := range r.params {
+				next[j] += r.weight * v
+			}
+		}
+		e.edge[n] = next
+	default: // AggInverseUpdate: w_n ← w_n + Σ weight·(w_m − w_n)
+		next := append([]float64(nil), cur...)
+		for _, r := range results {
+			for j, v := range r.params {
+				next[j] += r.weight * (v - cur[j])
+			}
+		}
+		e.edge[n] = next
+	}
+}
+
+// cloudAggregate merges edge models into the global model with the
+// member-count weights of Eq. (6) and redistributes it to every edge.
+func (e *Engine) cloudAggregate(t int) {
+	total := 0
+	counts := make([]int, e.schedule.Edges)
+	for n := range counts {
+		counts[n] = len(e.schedule.MembersAt(t, n))
+		total += counts[n]
+	}
+	next := make([]float64, len(e.global))
+	for n, params := range e.edge {
+		w := float64(counts[n]) / float64(total)
+		if w == 0 {
+			continue
+		}
+		for j, v := range params {
+			next[j] += w * v
+		}
+	}
+	e.global = next
+	for n := range e.edge {
+		copy(e.edge[n], e.global)
+	}
+}
+
+// probeGradNorm measures the true squared stochastic-gradient norm of device
+// m under edge n's current model, without updating any state (used by
+// MACH-P).
+func (e *Engine) probeGradNorm(probeNet *nn.Network, probeOpt *nn.SGD, t, n, m int) float64 {
+	if err := probeNet.SetParamVector(e.edge[n]); err != nil {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(mix(e.cfg.Seed, int64(t)+7, int64(m)+301)))
+	x, y := e.devices[m].data.RandomBatch(rng, e.cfg.BatchSize)
+	_, gn := probeNet.TrainStep(x, y, probeOpt)
+	return gn
+}
+
+// EvaluateConfusion classifies the full test set with the current global
+// model and returns the confusion matrix, exposing the per-class (macro)
+// view of the evaluation.
+func (e *Engine) EvaluateConfusion() (*metrics.Confusion, error) {
+	if err := e.evalNet.SetParamVector(e.global); err != nil {
+		return nil, err
+	}
+	x, y := e.test.All()
+	logits := e.evalNet.Forward(x, false)
+	return metrics.NewConfusion(e.test.Classes, nn.Argmax(logits), y)
+}
+
+// evaluate computes the global model's accuracy and loss on the test set
+// (optionally a deterministic subsample of EvalBatch samples).
+func (e *Engine) evaluate(t int) (acc, loss float64) {
+	if err := e.evalNet.SetParamVector(e.global); err != nil {
+		return 0, 0
+	}
+	if e.cfg.EvalBatch > 0 && e.cfg.EvalBatch < e.test.Len() {
+		rng := rand.New(rand.NewSource(mix(e.cfg.Seed, 0xE7A1, int64(t))))
+		x, y := e.test.RandomBatch(rng, e.cfg.EvalBatch)
+		return e.evalNet.Evaluate(x, y)
+	}
+	x, y := e.test.All()
+	return e.evalNet.Evaluate(x, y)
+}

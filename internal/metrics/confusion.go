@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Confusion is a confusion matrix over a fixed class set: Counts[true][pred]
+// is how many samples of class `true` were predicted as `pred`. It backs the
+// per-class analysis of the evaluation (rare long-tail classes are where
+// sampling strategies differ).
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusion builds a confusion matrix from predictions and labels.
+func NewConfusion(classes int, predictions, labels []int) (*Confusion, error) {
+	if classes <= 0 {
+		return nil, fmt.Errorf("metrics: need ≥ 1 class, got %d", classes)
+	}
+	if len(predictions) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d predictions for %d labels", len(predictions), len(labels))
+	}
+	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	for i, p := range predictions {
+		y := labels[i]
+		if y < 0 || y >= classes || p < 0 || p >= classes {
+			return nil, fmt.Errorf("metrics: sample %d outside class range: pred %d, label %d", i, p, y)
+		}
+		c.Counts[y][p]++
+	}
+	return c, nil
+}
+
+// Total returns the number of samples.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns overall accuracy.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns the per-class recall (diagonal over row sums); classes with
+// no samples report recall 0.
+func (c *Confusion) Recall() []float64 {
+	out := make([]float64, c.Classes)
+	for i, row := range c.Counts {
+		total := 0
+		for _, v := range row {
+			total += v
+		}
+		if total > 0 {
+			out[i] = float64(row[i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// MacroRecall averages recall over classes that have samples — the
+// balanced-accuracy view that exposes rare-class underfitting even when the
+// test set is long-tailed.
+func (c *Confusion) MacroRecall() float64 {
+	total, classes := 0.0, 0
+	for i, row := range c.Counts {
+		n := 0
+		for _, v := range row {
+			n += v
+		}
+		if n == 0 {
+			continue
+		}
+		total += float64(row[i]) / float64(n)
+		classes++
+	}
+	if classes == 0 {
+		return 0
+	}
+	return total / float64(classes)
+}
+
+// Write renders the matrix with per-class recall.
+func (c *Confusion) Write(w io.Writer) error {
+	recall := c.Recall()
+	for i, row := range c.Counts {
+		if _, err := fmt.Fprintf(w, "class %2d:", i); err != nil {
+			return err
+		}
+		for _, v := range row {
+			if _, err := fmt.Fprintf(w, " %5d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  recall %.3f\n", recall[i]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "accuracy %.4f  macro recall %.4f\n", c.Accuracy(), c.MacroRecall())
+	return err
+}

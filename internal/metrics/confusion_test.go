@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	// 3 classes; class 2 never predicted correctly.
+	pred := []int{0, 0, 1, 1, 0, 1}
+	labels := []int{0, 0, 1, 1, 2, 2}
+	c, err := NewConfusion(3, pred, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 6 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-4.0/6) > 1e-12 {
+		t.Fatalf("accuracy %v", c.Accuracy())
+	}
+	recall := c.Recall()
+	want := []float64{1, 1, 0}
+	for i := range want {
+		if math.Abs(recall[i]-want[i]) > 1e-12 {
+			t.Fatalf("recall[%d] = %v, want %v", i, recall[i], want[i])
+		}
+	}
+	if math.Abs(c.MacroRecall()-2.0/3) > 1e-12 {
+		t.Fatalf("macro recall %v", c.MacroRecall())
+	}
+	if c.Counts[2][0] != 1 || c.Counts[2][1] != 1 {
+		t.Fatalf("counts wrong: %v", c.Counts)
+	}
+	var sb strings.Builder
+	if err := c.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "macro recall") {
+		t.Fatalf("render missing summary: %s", sb.String())
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion(0, nil, nil); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	if _, err := NewConfusion(2, []int{0}, []int{0, 1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := NewConfusion(2, []int{5}, []int{0}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestConfusionMacroVsMicroOnImbalance(t *testing.T) {
+	// 9 samples of class 0 all correct, 1 of class 1 wrong: micro accuracy
+	// 0.9, macro recall 0.5 — macro exposes the rare-class failure.
+	pred := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	labels := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	c, err := NewConfusion(2, pred, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Accuracy()-0.9) > 1e-12 {
+		t.Fatalf("accuracy %v", c.Accuracy())
+	}
+	if math.Abs(c.MacroRecall()-0.5) > 1e-12 {
+		t.Fatalf("macro recall %v", c.MacroRecall())
+	}
+}
+
+func TestConfusionEmptyClassesIgnoredInMacro(t *testing.T) {
+	c, err := NewConfusion(5, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MacroRecall() != 1 {
+		t.Fatalf("macro recall with absent classes: %v", c.MacroRecall())
+	}
+	if (&Confusion{Classes: 2, Counts: [][]int{{0, 0}, {0, 0}}}).Accuracy() != 0 {
+		t.Fatal("empty confusion accuracy must be 0")
+	}
+}

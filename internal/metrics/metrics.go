@@ -1,0 +1,171 @@
+// Package metrics records training curves and derives the evaluation's
+// headline quantity: the time step at which the global model first reaches a
+// target accuracy ("time-to-accuracy"). It also averages curves across
+// repeated runs, mirroring the paper's three-run smoothing (§IV-A3).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Point is one evaluation of the global model.
+type Point struct {
+	Step     int
+	Accuracy float64
+	Loss     float64
+}
+
+// History is the sequence of global-model evaluations of one training run,
+// ordered by step.
+type History struct {
+	Points []Point
+}
+
+// Add appends an evaluation point.
+func (h *History) Add(p Point) { h.Points = append(h.Points, p) }
+
+// Len returns the number of recorded points.
+func (h *History) Len() int { return len(h.Points) }
+
+// FinalAccuracy returns the accuracy of the last point (0 when empty).
+func (h *History) FinalAccuracy() float64 {
+	if len(h.Points) == 0 {
+		return 0
+	}
+	return h.Points[len(h.Points)-1].Accuracy
+}
+
+// BestAccuracy returns the maximum recorded accuracy.
+func (h *History) BestAccuracy() float64 {
+	best := 0.0
+	for _, p := range h.Points {
+		if p.Accuracy > best {
+			best = p.Accuracy
+		}
+	}
+	return best
+}
+
+// TimeToAccuracy returns the first step whose accuracy reaches target.
+// ok is false when the run never reaches it.
+func (h *History) TimeToAccuracy(target float64) (step int, ok bool) {
+	for _, p := range h.Points {
+		if p.Accuracy >= target {
+			return p.Step, true
+		}
+	}
+	return 0, false
+}
+
+// Smoothed returns a copy whose accuracy/loss are trailing moving averages
+// over the given window (in points, not steps). window ≤ 1 returns a plain
+// copy.
+func (h *History) Smoothed(window int) *History {
+	out := &History{Points: make([]Point, len(h.Points))}
+	copy(out.Points, h.Points)
+	if window <= 1 {
+		return out
+	}
+	for i := range out.Points {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		accSum, lossSum := 0.0, 0.0
+		for j := lo; j <= i; j++ {
+			accSum += h.Points[j].Accuracy
+			lossSum += h.Points[j].Loss
+		}
+		n := float64(i - lo + 1)
+		out.Points[i].Accuracy = accSum / n
+		out.Points[i].Loss = lossSum / n
+	}
+	return out
+}
+
+// WriteCSV writes "step,accuracy,loss" rows with a header.
+func (h *History) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "step,accuracy,loss\n"); err != nil {
+		return fmt.Errorf("metrics: write header: %w", err)
+	}
+	for _, p := range h.Points {
+		line := strconv.Itoa(p.Step) + "," +
+			strconv.FormatFloat(p.Accuracy, 'f', 6, 64) + "," +
+			strconv.FormatFloat(p.Loss, 'f', 6, 64) + "\n"
+		if _, err := io.WriteString(w, line); err != nil {
+			return fmt.Errorf("metrics: write point: %w", err)
+		}
+	}
+	return nil
+}
+
+// AverageHistories averages several runs point-by-point at common steps.
+// Runs evaluated at different steps are aligned on the union of steps with
+// per-run linear interpolation; steps outside a run's range use its
+// first/last value.
+func AverageHistories(runs []*History) *History {
+	if len(runs) == 0 {
+		return &History{}
+	}
+	stepSet := map[int]bool{}
+	for _, r := range runs {
+		for _, p := range r.Points {
+			stepSet[p.Step] = true
+		}
+	}
+	steps := make([]int, 0, len(stepSet))
+	for s := range stepSet {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	out := &History{}
+	for _, s := range steps {
+		acc, loss := 0.0, 0.0
+		for _, r := range runs {
+			a, l := r.valueAt(s)
+			acc += a
+			loss += l
+		}
+		n := float64(len(runs))
+		out.Add(Point{Step: s, Accuracy: acc / n, Loss: loss / n})
+	}
+	return out
+}
+
+// valueAt linearly interpolates accuracy/loss at step s.
+func (h *History) valueAt(s int) (acc, loss float64) {
+	if len(h.Points) == 0 {
+		return 0, math.Inf(1)
+	}
+	if s <= h.Points[0].Step {
+		return h.Points[0].Accuracy, h.Points[0].Loss
+	}
+	last := h.Points[len(h.Points)-1]
+	if s >= last.Step {
+		return last.Accuracy, last.Loss
+	}
+	i := sort.Search(len(h.Points), func(i int) bool { return h.Points[i].Step >= s })
+	a, b := h.Points[i-1], h.Points[i]
+	frac := float64(s-a.Step) / float64(b.Step-a.Step)
+	return a.Accuracy + frac*(b.Accuracy-a.Accuracy), a.Loss + frac*(b.Loss-a.Loss)
+}
+
+// SavedPercent is the headline metric of the evaluation: the percentage of
+// time steps MACH saves relative to the best-performing baseline,
+// (best − mach) / best × 100.
+func SavedPercent(machStep int, baselineSteps []int) float64 {
+	best := math.MaxInt
+	for _, s := range baselineSteps {
+		if s > 0 && s < best {
+			best = s
+		}
+	}
+	if best == math.MaxInt || best == 0 {
+		return 0
+	}
+	return (float64(best) - float64(machStep)) / float64(best) * 100
+}

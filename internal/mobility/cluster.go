@@ -1,0 +1,123 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ClusterStations groups base stations into k edges with Lloyd's k-means over
+// station coordinates, mirroring the paper's clustering of neighbouring base
+// stations into "main" base stations (§IV-A1). It returns edgeOf[station] =
+// edge index in [0, k). Every edge is guaranteed at least one station: empty
+// clusters are re-seeded on the station farthest from its centroid.
+func ClusterStations(rng *rand.Rand, stations []Station, k int) ([]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mobility: need ≥ 1 edge, got %d", k)
+	}
+	if len(stations) < k {
+		return nil, fmt.Errorf("mobility: %d stations cannot form %d edges", len(stations), k)
+	}
+	// k-means++ style seeding: first centroid uniform, the rest by
+	// squared-distance weighting.
+	centX := make([]float64, k)
+	centY := make([]float64, k)
+	first := rng.Intn(len(stations))
+	centX[0], centY[0] = stations[first].X, stations[first].Y
+	minDist := make([]float64, len(stations))
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for i, s := range stations {
+			d := math.Inf(1)
+			for j := 0; j < c; j++ {
+				dx, dy := s.X-centX[j], s.Y-centY[j]
+				if dd := dx*dx + dy*dy; dd < d {
+					d = dd
+				}
+			}
+			minDist[i] = d
+			total += d
+		}
+		pick := 0
+		if total > 0 {
+			u := rng.Float64() * total
+			acc := 0.0
+			for i, d := range minDist {
+				acc += d
+				if u < acc {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(len(stations))
+		}
+		centX[c], centY[c] = stations[pick].X, stations[pick].Y
+	}
+
+	assign := make([]int, len(stations))
+	counts := make([]int, k)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, s := range stations {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dx, dy := s.X-centX[c], s.Y-centY[c]
+				if d := dx*dx + dy*dy; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				if assign[i] != best {
+					changed = true
+				}
+				assign[i] = best
+			}
+		}
+		// Re-seed empty clusters with a station donated by the largest
+		// cluster so every edge stays non-empty.
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := range stations {
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				continue
+			}
+			big := 0
+			for cc := range counts {
+				if counts[cc] > counts[big] {
+					big = cc
+				}
+			}
+			for i := range stations {
+				if assign[i] == big {
+					assign[i] = c
+					counts[big]--
+					counts[c]++
+					break
+				}
+			}
+			changed = true
+		}
+		// Recompute centroids as cluster means.
+		for c := range centX {
+			centX[c], centY[c] = 0, 0
+		}
+		for i, s := range stations {
+			c := assign[i]
+			centX[c] += s.X
+			centY[c] += s.Y
+		}
+		for c := 0; c < k; c++ {
+			centX[c] /= float64(counts[c])
+			centY[c] /= float64(counts[c])
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return assign, nil
+}

@@ -1,0 +1,55 @@
+package mobility
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadStationsCSV parses "station,x,y" lines (with optional header) written
+// by cmd/tracegen's -coords output. Stations must appear in ID order
+// starting at 0.
+func ReadStationsCSV(r io.Reader) ([]Station, error) {
+	sc := bufio.NewScanner(r)
+	var out []Station
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "station") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("mobility: coords line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("mobility: coords line %d id: %w", lineNo, err)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: coords line %d x: %w", lineNo, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: coords line %d y: %w", lineNo, err)
+		}
+		if id != len(out) {
+			return nil, fmt.Errorf("mobility: coords line %d: station %d out of order (want %d)", lineNo, id, len(out))
+		}
+		out = append(out, Station{ID: id, X: x, Y: y})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mobility: scan coords: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mobility: coords file holds no stations")
+	}
+	return out, nil
+}

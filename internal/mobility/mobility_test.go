@@ -1,0 +1,206 @@
+package mobility
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPlacementValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     PlacementConfig
+		wantErr bool
+	}{
+		{"default", DefaultPlacement(), false},
+		{"uniform", PlacementConfig{Width: 10, Height: 10}, false},
+		{"zero width", PlacementConfig{Width: 0, Height: 10}, true},
+		{"negative clusters", PlacementConfig{Width: 10, Height: 10, Clusters: -1}, true},
+		{"cluster no spread", PlacementConfig{Width: 10, Height: 10, Clusters: 3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlaceStationsBoundsAndIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []PlacementConfig{
+		{Width: 50, Height: 30},
+		{Width: 50, Height: 30, Clusters: 4, ClusterStd: 5},
+	} {
+		stations, err := PlaceStations(rng, 40, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stations) != 40 {
+			t.Fatalf("got %d stations", len(stations))
+		}
+		for i, s := range stations {
+			if s.ID != i {
+				t.Fatalf("station %d has ID %d", i, s.ID)
+			}
+			if s.X < 0 || s.X > cfg.Width || s.Y < 0 || s.Y > cfg.Height {
+				t.Fatalf("station %d out of region: (%v,%v)", i, s.X, s.Y)
+			}
+		}
+	}
+	if _, err := PlaceStations(rng, 0, DefaultPlacement()); err == nil {
+		t.Fatal("expected error for zero stations")
+	}
+}
+
+func TestClusteredPlacementIsClumpier(t *testing.T) {
+	// Mean nearest-neighbour distance should be smaller under clustered
+	// placement than under uniform placement of the same intensity.
+	meanNN := func(stations []Station) float64 {
+		total := 0.0
+		for i, s := range stations {
+			best := -1.0
+			for j, o := range stations {
+				if i == j {
+					continue
+				}
+				dx, dy := s.X-o.X, s.Y-o.Y
+				d := dx*dx + dy*dy
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total / float64(len(stations))
+	}
+	rng := rand.New(rand.NewSource(2))
+	uniform, err := PlaceStations(rng, 100, PlacementConfig{Width: 100, Height: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := PlaceStations(rng, 100, PlacementConfig{Width: 100, Height: 100, Clusters: 5, ClusterStd: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanNN(clustered) >= meanNN(uniform) {
+		t.Fatalf("clustered placement not clumpier: %v vs %v", meanNN(clustered), meanNN(uniform))
+	}
+}
+
+func TestNearestStation(t *testing.T) {
+	stations := []Station{{ID: 0, X: 0, Y: 0}, {ID: 1, X: 10, Y: 0}, {ID: 2, X: 0, Y: 10}}
+	tests := []struct {
+		x, y float64
+		want int
+	}{
+		{1, 1, 0},
+		{9, 1, 1},
+		{1, 9, 2},
+		{100, 100, 1}, // ties broken by first-found; (10,0) vs (0,10) equidistant
+	}
+	for _, tt := range tests {
+		if got := NearestStation(stations, tt.x, tt.y); got != tt.want {
+			t.Fatalf("NearestStation(%v,%v) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestTraceAppendValidation(t *testing.T) {
+	var tr Trace
+	tests := []struct {
+		name string
+		r    Record
+	}{
+		{"negative device", Record{Device: -1, Station: 0, Start: 0, End: 1}},
+		{"negative station", Record{Device: 0, Station: -1, Start: 0, End: 1}},
+		{"empty interval", Record{Device: 0, Station: 0, Start: 5, End: 5}},
+		{"inverted interval", Record{Device: 0, Station: 0, Start: 5, End: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tr.Append(tt.r); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	if err := tr.Append(Record{Device: 0, Station: 1, Start: 0, End: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Devices() != 1 || tr.Stations() != 2 || tr.Horizon() != 3 {
+		t.Fatalf("trace stats wrong: %d devices %d stations %d horizon", tr.Devices(), tr.Stations(), tr.Horizon())
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	var tr Trace
+	records := []Record{
+		{Device: 0, Station: 3, Start: 0, End: 10},
+		{Device: 1, Station: 2, Start: 5, End: 7},
+		{Device: 0, Station: 1, Start: 10, End: 20},
+	}
+	for _, r := range records {
+		if err := tr.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(records) {
+		t.Fatalf("round-trip lost records: %d vs %d", len(got.Records), len(records))
+	}
+	for i, r := range got.Records {
+		if r != records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r, records[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"wrong fields", "device,station,start,end\n1,2,3\n"},
+		{"bad device", "a,2,0,1\n"},
+		{"bad station", "1,x,0,1\n"},
+		{"bad start", "1,2,y,1\n"},
+		{"bad end", "1,2,0,z\n"},
+		{"invalid interval", "1,2,5,5\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestTraceSortOrder(t *testing.T) {
+	var tr Trace
+	for _, r := range []Record{
+		{Device: 1, Station: 0, Start: 5, End: 6},
+		{Device: 0, Station: 0, Start: 9, End: 10},
+		{Device: 0, Station: 0, Start: 2, End: 3},
+	} {
+		if err := tr.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Sort()
+	if tr.Records[0].Device != 0 || tr.Records[0].Start != 2 {
+		t.Fatalf("sort order wrong: %+v", tr.Records)
+	}
+	if tr.Records[2].Device != 1 {
+		t.Fatalf("sort order wrong: %+v", tr.Records)
+	}
+}

@@ -1,0 +1,150 @@
+package mobility
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one base-station access interval of one device, the schema of
+// the Shanghai Telecom dataset: a device, the station it attached to, and
+// the start/end timestamps of the attachment (here in abstract time units;
+// the simulator maps them to FL time steps via Schedule).
+type Record struct {
+	Device  int
+	Station int
+	Start   int64
+	End     int64 // exclusive
+}
+
+// Trace is an ordered collection of access records.
+type Trace struct {
+	Records []Record
+}
+
+// Append adds a record after basic validation.
+func (t *Trace) Append(r Record) error {
+	switch {
+	case r.Device < 0:
+		return fmt.Errorf("mobility: record has negative device %d", r.Device)
+	case r.Station < 0:
+		return fmt.Errorf("mobility: record has negative station %d", r.Station)
+	case r.End <= r.Start:
+		return fmt.Errorf("mobility: record for device %d has end %d ≤ start %d", r.Device, r.End, r.Start)
+	}
+	t.Records = append(t.Records, r)
+	return nil
+}
+
+// Sort orders records by (device, start), the canonical order for schedule
+// construction.
+func (t *Trace) Sort() {
+	sort.Slice(t.Records, func(i, j int) bool {
+		a, b := t.Records[i], t.Records[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Start < b.Start
+	})
+}
+
+// Devices returns the number of distinct devices (max ID + 1).
+func (t *Trace) Devices() int {
+	maxID := -1
+	for _, r := range t.Records {
+		if r.Device > maxID {
+			maxID = r.Device
+		}
+	}
+	return maxID + 1
+}
+
+// Stations returns the number of distinct stations (max ID + 1).
+func (t *Trace) Stations() int {
+	maxID := -1
+	for _, r := range t.Records {
+		if r.Station > maxID {
+			maxID = r.Station
+		}
+	}
+	return maxID + 1
+}
+
+// Horizon returns the largest End timestamp.
+func (t *Trace) Horizon() int64 {
+	var h int64
+	for _, r := range t.Records {
+		if r.End > h {
+			h = r.End
+		}
+	}
+	return h
+}
+
+// WriteCSV writes the trace as "device,station,start,end" lines with a
+// header, the interchange format of cmd/tracegen.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("device,station,start,end\n"); err != nil {
+		return fmt.Errorf("mobility: write header: %w", err)
+	}
+	for _, r := range t.Records {
+		line := strconv.Itoa(r.Device) + "," + strconv.Itoa(r.Station) + "," +
+			strconv.FormatInt(r.Start, 10) + "," + strconv.FormatInt(r.End, 10) + "\n"
+		if _, err := bw.WriteString(line); err != nil {
+			return fmt.Errorf("mobility: write record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mobility: flush trace: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	trace := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(line, "device") {
+			continue // header
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("mobility: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		dev, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d device: %w", lineNo, err)
+		}
+		st, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d station: %w", lineNo, err)
+		}
+		start, err := strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d start: %w", lineNo, err)
+		}
+		end, err := strconv.ParseInt(strings.TrimSpace(fields[3]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: line %d end: %w", lineNo, err)
+		}
+		if err := trace.Append(Record{Device: dev, Station: st, Start: start, End: end}); err != nil {
+			return nil, fmt.Errorf("mobility: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mobility: scan trace: %w", err)
+	}
+	return trace, nil
+}

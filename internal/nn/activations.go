@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	name string
+	mask []bool // true where input > 0 on the last training forward
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < out.Len() {
+			r.mask = make([]bool, out.Len())
+		}
+		r.mask = r.mask[:out.Len()]
+	}
+	data := out.Data()
+	for i, v := range data {
+		pos := v > 0
+		if !pos {
+			data[i] = 0
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != grad.Len() {
+		panic("nn: ReLU.Backward called before Forward(train=true)")
+	}
+	out := grad.Clone()
+	data := out.Data()
+	for i := range data {
+		if !r.mask[i] {
+			data[i] = 0
+		}
+	}
+	return out
+}
+
+func (r *ReLU) clone() Layer { return &ReLU{name: r.name} }
+
+// Flatten reshapes [B, C, H, W] (or any rank ≥ 2) into [B, rest].
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() < 2 {
+		panic(fmt.Sprintf("nn: %s expects rank ≥ 2, got %v", f.name, x.Shape()))
+	}
+	if train {
+		f.lastShape = append(f.lastShape[:0], x.Shape()...)
+	}
+	batch := x.Dim(0)
+	return x.Reshape(batch, x.Len()/batch)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(f.lastShape) == 0 {
+		panic("nn: Flatten.Backward called before Forward(train=true)")
+	}
+	return grad.Reshape(f.lastShape...)
+}
+
+func (f *Flatten) clone() Layer { return &Flatten{name: f.name} }
+
+// MaxPool2 is a 2×2 max-pooling layer with stride 2 over [B, C, H, W]
+// inputs. H and W must be even.
+type MaxPool2 struct {
+	name    string
+	argmax  []int // flat input index of each output element
+	inShape []int
+}
+
+var _ Layer = (*MaxPool2)(nil)
+
+// NewMaxPool2 returns a 2×2/stride-2 max-pooling layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+
+// Name implements Layer.
+func (p *MaxPool2) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s expects [B, C, H, W], got %v", p.name, x.Shape()))
+	}
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: %s requires even H and W, got %dx%d", p.name, h, w))
+	}
+	oh, ow := h/2, w/2
+	out := tensor.New(b, c, oh, ow)
+	if train {
+		if cap(p.argmax) < out.Len() {
+			p.argmax = make([]int, out.Len())
+		}
+		p.argmax = p.argmax[:out.Len()]
+		p.inShape = append(p.inShape[:0], x.Shape()...)
+	}
+	xd, od := x.Data(), out.Data()
+	oi := 0
+	for bc := 0; bc < b*c; bc++ {
+		plane := bc * h * w
+		for oy := 0; oy < oh; oy++ {
+			rowTop := plane + 2*oy*w
+			for ox := 0; ox < ow; ox++ {
+				i0 := rowTop + 2*ox
+				best, bestIdx := xd[i0], i0
+				if v := xd[i0+1]; v > best {
+					best, bestIdx = v, i0+1
+				}
+				if v := xd[i0+w]; v > best {
+					best, bestIdx = v, i0+w
+				}
+				if v := xd[i0+w+1]; v > best {
+					best, bestIdx = v, i0+w+1
+				}
+				od[oi] = best
+				if train {
+					p.argmax[oi] = bestIdx
+				}
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(p.inShape) == 0 || len(p.argmax) != grad.Len() {
+		panic("nn: MaxPool2.Backward called before Forward(train=true)")
+	}
+	dx := tensor.New(p.inShape...)
+	dd := dx.Data()
+	for i, v := range grad.Data() {
+		dd[p.argmax[i]] += v
+	}
+	return dx
+}
+
+func (p *MaxPool2) clone() Layer { return &MaxPool2{name: p.name} }

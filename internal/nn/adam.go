@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) with bias-corrected
+// first and second moment estimates. The HFL evaluation uses plain SGD as in
+// the paper, but device-side adaptive optimizers are a common extension and
+// the engine accepts any Optimizer.
+type Adam struct {
+	lr      float64
+	beta1   float64
+	beta2   float64
+	epsilon float64
+
+	step int
+	m    map[*Param]*tensor.Tensor
+	v    map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// AdamOption customizes an Adam optimizer.
+type AdamOption func(*Adam)
+
+// WithBetas sets the moment decay rates (defaults 0.9, 0.999).
+func WithBetas(beta1, beta2 float64) AdamOption {
+	return func(a *Adam) { a.beta1, a.beta2 = beta1, beta2 }
+}
+
+// WithEpsilon sets the denominator stabilizer (default 1e-8).
+func WithEpsilon(eps float64) AdamOption {
+	return func(a *Adam) { a.epsilon = eps }
+}
+
+// NewAdam returns an Adam optimizer with learning rate lr.
+func NewAdam(lr float64, opts ...AdamOption) *Adam {
+	a := &Adam{
+		lr:      lr,
+		beta1:   0.9,
+		beta2:   0.999,
+		epsilon: 1e-8,
+		m:       make(map[*Param]*tensor.Tensor),
+		v:       make(map[*Param]*tensor.Tensor),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// LearningRate implements Optimizer.
+func (a *Adam) LearningRate() float64 { return a.lr }
+
+// SetLearningRate implements Optimizer.
+func (a *Adam) SetLearningRate(lr float64) { a.lr = lr }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		md, vd := m.Data(), v.Data()
+		gd, wd := p.Grad.Data(), p.Value.Data()
+		for i, g := range gd {
+			md[i] = a.beta1*md[i] + (1-a.beta1)*g
+			vd[i] = a.beta2*vd[i] + (1-a.beta2)*g*g
+			mHat := md[i] / c1
+			vHat := vd[i] / c2
+			wd[i] -= a.lr * mHat / (math.Sqrt(vHat) + a.epsilon)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// ConvSpec describes one convolution stage of a CNN: a 3×3 (or K×K)
+// convolution followed by ReLU and, optionally, 2×2 max-pooling.
+type ConvSpec struct {
+	OutC int  // output channels
+	K    int  // kernel size (default 3)
+	Pad  int  // zero padding (default keeps size for K=3: pad 1)
+	Pool bool // append a 2×2/stride-2 max-pool
+}
+
+// CNNConfig fully describes a convolutional classifier: input geometry,
+// convolution stages, fully connected hidden widths, and the number of
+// output classes.
+type CNNConfig struct {
+	Name    string
+	InC     int
+	InH     int
+	InW     int
+	Convs   []ConvSpec
+	Hidden  []int
+	Classes int
+}
+
+// Validate reports whether the configuration produces a consistent network.
+func (c CNNConfig) Validate() error {
+	if c.InC <= 0 || c.InH <= 0 || c.InW <= 0 {
+		return fmt.Errorf("nn: CNNConfig %q has non-positive input dims", c.Name)
+	}
+	if c.Classes <= 1 {
+		return fmt.Errorf("nn: CNNConfig %q needs ≥ 2 classes", c.Name)
+	}
+	h, w := c.InH, c.InW
+	for i, cs := range c.Convs {
+		k := cs.K
+		if k == 0 {
+			k = 3
+		}
+		g := tensor.ConvGeom{InC: 1, InH: h, InW: w, K: k, Stride: 1, Pad: cs.Pad}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("nn: CNNConfig %q conv %d: %w", c.Name, i, err)
+		}
+		h, w = g.OutH(), g.OutW()
+		if cs.Pool {
+			if h%2 != 0 || w%2 != 0 {
+				return fmt.Errorf("nn: CNNConfig %q conv %d pools odd feature map %dx%d", c.Name, i, h, w)
+			}
+			h, w = h/2, w/2
+		}
+	}
+	return nil
+}
+
+// NewCNN builds a CNN classifier from the configuration. Weights are
+// He-initialized from rng so that two calls with identically seeded rngs
+// produce identical networks.
+func NewCNN(cfg CNNConfig, rng *rand.Rand) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var layers []Layer
+	inC, h, w := cfg.InC, cfg.InH, cfg.InW
+	for i, cs := range cfg.Convs {
+		k := cs.K
+		if k == 0 {
+			k = 3
+		}
+		g := tensor.ConvGeom{InC: inC, InH: h, InW: w, K: k, Stride: 1, Pad: cs.Pad}
+		conv := NewConv2D(fmt.Sprintf("conv%d", i+1), g, cs.OutC, rng)
+		layers = append(layers, conv, NewReLU(fmt.Sprintf("relu_c%d", i+1)))
+		inC, h, w = cs.OutC, g.OutH(), g.OutW()
+		if cs.Pool {
+			layers = append(layers, NewMaxPool2(fmt.Sprintf("pool%d", i+1)))
+			h, w = h/2, w/2
+		}
+	}
+	layers = append(layers, NewFlatten("flatten"))
+	in := inC * h * w
+	for i, width := range cfg.Hidden {
+		layers = append(layers,
+			NewDense(fmt.Sprintf("fc%d", i+1), in, width, rng),
+			NewReLU(fmt.Sprintf("relu_f%d", i+1)))
+		in = width
+	}
+	layers = append(layers, NewDense("out", in, cfg.Classes, rng))
+	return NewNetwork(cfg.Name, layers...), nil
+}
+
+// MNISTCNNConfig is the paper's MNIST/FMNIST architecture — 2 convolutional
+// layers and 2 fully connected layers — scaled to the given input geometry.
+// Channel widths default to a laptop-scale variant (the paper does not report
+// widths); pass wider values through the returned config if desired.
+func MNISTCNNConfig(inH, inW int) CNNConfig {
+	return CNNConfig{
+		Name: "mnist-cnn",
+		InC:  1, InH: inH, InW: inW,
+		Convs: []ConvSpec{
+			{OutC: 8, K: 3, Pad: 1, Pool: true},
+			{OutC: 16, K: 3, Pad: 1, Pool: true},
+		},
+		Hidden:  []int{64},
+		Classes: 10,
+	}
+}
+
+// CIFARCNNConfig is the paper's CIFAR-10 architecture — 3 convolutional
+// layers and 2 fully connected layers — scaled to the given input geometry.
+func CIFARCNNConfig(inH, inW int) CNNConfig {
+	return CNNConfig{
+		Name: "cifar-cnn",
+		InC:  3, InH: inH, InW: inW,
+		Convs: []ConvSpec{
+			{OutC: 8, K: 3, Pad: 1, Pool: true},
+			{OutC: 16, K: 3, Pad: 1, Pool: true},
+			{OutC: 16, K: 3, Pad: 1, Pool: true},
+		},
+		Hidden:  []int{64},
+		Classes: 10,
+	}
+}
+
+// NewMLP builds a plain multi-layer perceptron classifier over flat feature
+// vectors; the test suite uses it as a fast stand-in for the CNNs.
+func NewMLP(name string, in int, hidden []int, classes int, rng *rand.Rand) *Network {
+	layers := []Layer{NewFlatten("flatten")} // accept [B, in] or [B, C, H, W]
+	cur := in
+	for i, width := range hidden {
+		layers = append(layers,
+			NewDense(fmt.Sprintf("fc%d", i+1), cur, width, rng),
+			NewReLU(fmt.Sprintf("relu%d", i+1)))
+		cur = width
+	}
+	layers = append(layers, NewDense("out", cur, classes, rng))
+	return NewNetwork(name, layers...)
+}

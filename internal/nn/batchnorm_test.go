@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+func TestBatchNormNormalizesTrainingBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bn := NewBatchNorm1D("bn", 4)
+	x := tensor.Randn(rng, 3, 32, 4) // std 3 so normalization is visible
+	out := bn.Forward(x, true)
+	// With γ=1, β=0 each output feature has ≈ zero mean and unit variance.
+	for j := 0; j < 4; j++ {
+		mean, varce := 0.0, 0.0
+		for i := 0; i < 32; i++ {
+			mean += out.At(i, j) / 32
+		}
+		for i := 0; i < 32; i++ {
+			d := out.At(i, j) - mean
+			varce += d * d / 32
+		}
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("feature %d mean %v", j, mean)
+		}
+		if math.Abs(varce-1) > 1e-3 {
+			t.Fatalf("feature %d variance %v", j, varce)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bn := NewBatchNorm1D("bn", 2)
+	// Feed shifted batches in training mode to move the running stats.
+	for i := 0; i < 50; i++ {
+		x := tensor.Randn(rng, 1, 16, 2)
+		for k := range x.Data() {
+			x.Data()[k] += 5
+		}
+		bn.Forward(x, true)
+	}
+	// Eval on a batch at the same shift: outputs should be ≈ normalized.
+	x := tensor.Randn(rng, 1, 16, 2)
+	for k := range x.Data() {
+		x.Data()[k] += 5
+	}
+	out := bn.Forward(x, false)
+	mean := out.Mean()
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("eval-mode output mean %v, want ≈ 0 via running stats", mean)
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork("bn-net",
+		NewDense("fc1", 5, 6, rng),
+		NewBatchNorm1D("bn", 6),
+		NewReLU("r"),
+		NewDense("fc2", 6, 3, rng),
+	)
+	x := tensor.Randn(rng, 1, 8, 5)
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	// Gradient check against the training-mode forward (batch statistics
+	// make the loss a function of the whole batch, which the analytic
+	// backward accounts for; the numeric probe must also use train mode).
+	net.ZeroGrad()
+	logits := net.Forward(x, true)
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(grad)
+	for _, p := range net.Params() {
+		for s := 0; s < 5; s++ {
+			i := rng.Intn(p.Value.Len())
+			analytic := p.Grad.Data()[i]
+			const h = 1e-5
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + h
+			bnFreshForward := func() float64 {
+				// train=true so batch stats are recomputed, but running
+				// stats drift is negligible at h-scale probes.
+				l, _ := SoftmaxCrossEntropy(net.Forward(x, true), labels)
+				return l
+			}
+			lossPlus := bnFreshForward()
+			p.Value.Data()[i] = orig - h
+			lossMinus := bnFreshForward()
+			p.Value.Data()[i] = orig
+			numeric := (lossPlus - lossMinus) / (2 * h)
+			scale := math.Max(1e-4, math.Abs(analytic)+math.Abs(numeric))
+			if math.Abs(analytic-numeric)/scale > 1e-3 {
+				t.Fatalf("%s[%d]: analytic %.8g vs numeric %.8g", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestBatchNormCloneIndependent(t *testing.T) {
+	bn := NewBatchNorm1D("bn", 3)
+	bn.runMean[0] = 7
+	c := bn.clone().(*BatchNorm1D)
+	if c.runMean[0] != 7 {
+		t.Fatal("running stats not cloned")
+	}
+	c.runMean[0] = 9
+	if bn.runMean[0] != 7 {
+		t.Fatal("clone shares running stats")
+	}
+}
+
+func TestBatchNormTrainsInNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNetwork("bn-train",
+		NewDense("fc1", 2, 8, rng),
+		NewBatchNorm1D("bn", 8),
+		NewReLU("r"),
+		NewDense("fc2", 8, 2, rng),
+	)
+	opt := NewSGD(0.1)
+	for step := 0; step < 150; step++ {
+		x, y := twoBlobs(rng, 16)
+		net.TrainStep(x, y, opt)
+	}
+	xt, yt := twoBlobs(rng, 200)
+	acc, _ := net.Evaluate(xt, yt)
+	if acc < 0.95 {
+		t.Fatalf("batch-norm network failed to learn: accuracy %.3f", acc)
+	}
+}
+
+func TestBatchNormPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatchNorm1D("bn", 2).Forward(tensor.New(2, 3), true)
+}

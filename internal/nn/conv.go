@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over batched inputs of shape [B, InC, H, W],
+// implemented via im2col lowering so that each image's convolution becomes a
+// single matrix product W (outC × InC·K·K) · cols (InC·K·K × outH·outW).
+type Conv2D struct {
+	name string
+	geom tensor.ConvGeom
+	outC int
+	w    *Param // [outC, InC*K*K]
+	b    *Param // [outC]
+
+	lastCols []*tensor.Tensor // cached per-image column matrices
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D returns a convolution layer with He-initialized kernels.
+func NewConv2D(name string, geom tensor.ConvGeom, outC int, rng *rand.Rand) *Conv2D {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: %s: %v", name, err))
+	}
+	fanIn := geom.InC * geom.K * geom.K
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return &Conv2D{
+		name: name,
+		geom: geom,
+		outC: outC,
+		w:    newParam(name+".w", tensor.Randn(rng, std, outC, fanIn)),
+		b:    newParam(name+".b", tensor.New(outC)),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutShape returns the per-image output shape [outC, outH, outW].
+func (c *Conv2D) OutShape() (outC, outH, outW int) {
+	return c.outC, c.geom.OutH(), c.geom.OutW()
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.geom
+	if x.Rank() != 4 || x.Dim(1) != g.InC || x.Dim(2) != g.InH || x.Dim(3) != g.InW {
+		panic(fmt.Sprintf("nn: %s expects input [B, %d, %d, %d], got %v", c.name, g.InC, g.InH, g.InW, x.Shape()))
+	}
+	batch := x.Dim(0)
+	outH, outW := g.OutH(), g.OutW()
+	n := outH * outW
+	out := tensor.New(batch, c.outC, outH, outW)
+	if train {
+		c.lastCols = make([]*tensor.Tensor, batch)
+	}
+	imgLen := g.InC * g.InH * g.InW
+	bdata := c.b.Value.Data()
+	for i := 0; i < batch; i++ {
+		img := tensor.FromSlice(x.Data()[i*imgLen:(i+1)*imgLen], g.InC, g.InH, g.InW)
+		cols := tensor.Im2Col(img, g)
+		if train {
+			c.lastCols[i] = cols
+		}
+		res := tensor.MatMul(c.w.Value, cols) // [outC, n]
+		dst := out.Data()[i*c.outC*n : (i+1)*c.outC*n]
+		copy(dst, res.Data())
+		for oc := 0; oc < c.outC; oc++ {
+			row := dst[oc*n : (oc+1)*n]
+			bv := bdata[oc]
+			for j := range row {
+				row[j] += bv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic("nn: Conv2D.Backward called before Forward(train=true)")
+	}
+	g := c.geom
+	batch := grad.Dim(0)
+	outH, outW := g.OutH(), g.OutW()
+	n := outH * outW
+	imgLen := g.InC * g.InH * g.InW
+	dx := tensor.New(batch, g.InC, g.InH, g.InW)
+	bgrad := c.b.Grad.Data()
+	for i := 0; i < batch; i++ {
+		gmat := tensor.FromSlice(grad.Data()[i*c.outC*n:(i+1)*c.outC*n], c.outC, n)
+		// dW += gmat·colsᵀ
+		dw := tensor.MatMulTransB(gmat, c.lastCols[i])
+		c.w.Grad.AddInPlace(dw)
+		// db += row sums of gmat
+		for oc := 0; oc < c.outC; oc++ {
+			row := gmat.Data()[oc*n : (oc+1)*n]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			bgrad[oc] += s
+		}
+		// dX = col2im(Wᵀ·gmat)
+		dcols := tensor.MatMulTransA(c.w.Value, gmat)
+		dimg := tensor.Col2Im(dcols, g)
+		copy(dx.Data()[i*imgLen:(i+1)*imgLen], dimg.Data())
+	}
+	return dx
+}
+
+func (c *Conv2D) clone() Layer {
+	return &Conv2D{
+		name: c.name,
+		geom: c.geom,
+		outC: c.outC,
+		w:    &Param{Name: c.w.Name, Value: c.w.Value.Clone(), Grad: tensor.New(c.w.Value.Shape()...)},
+		b:    &Param{Name: c.b.Name, Value: c.b.Value.Clone(), Grad: tensor.New(c.b.Value.Shape()...)},
+	}
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·Wᵀ + b for a batch input
+// x of shape [B, in]. W has shape [out, in] and b has shape [out].
+type Dense struct {
+	name string
+	in   int
+	out  int
+	w    *Param
+	b    *Param
+
+	lastX *tensor.Tensor // cached input for Backward
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense returns a dense layer with He-initialized weights, which is the
+// appropriate fan-in scaling for the ReLU networks used throughout.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	std := math.Sqrt(2.0 / float64(in))
+	return &Dense{
+		name: name,
+		in:   in,
+		out:  out,
+		w:    newParam(name+".w", tensor.Randn(rng, std, out, in)),
+		b:    newParam(name+".b", tensor.New(out)),
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.in {
+		panic(fmt.Sprintf("nn: %s expects input [B, %d], got %v", d.name, d.in, x.Shape()))
+	}
+	if train {
+		d.lastX = x
+	}
+	out := tensor.MatMulTransB(x, d.w.Value) // [B, out]
+	batch := x.Dim(0)
+	bdata := d.b.Value.Data()
+	odata := out.Data()
+	for i := 0; i < batch; i++ {
+		row := odata[i*d.out : (i+1)*d.out]
+		for j := range row {
+			row[j] += bdata[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward called before Forward(train=true)")
+	}
+	// dW = gradᵀ·x, accumulated.
+	dw := tensor.MatMulTransA(grad, d.lastX)
+	d.w.Grad.AddInPlace(dw)
+	// db = column sums of grad.
+	batch := grad.Dim(0)
+	gdata := grad.Data()
+	bgrad := d.b.Grad.Data()
+	for i := 0; i < batch; i++ {
+		row := gdata[i*d.out : (i+1)*d.out]
+		for j, v := range row {
+			bgrad[j] += v
+		}
+	}
+	// dX = grad·W.
+	return tensor.MatMul(grad, d.w.Value)
+}
+
+func (d *Dense) clone() Layer {
+	return &Dense{
+		name: d.name,
+		in:   d.in,
+		out:  d.out,
+		w:    &Param{Name: d.w.Name, Value: d.w.Value.Clone(), Grad: tensor.New(d.w.Value.Shape()...)},
+		b:    &Param{Name: d.b.Name, Value: d.b.Value.Clone(), Grad: tensor.New(d.b.Value.Shape()...)},
+	}
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// Dropout randomly zeroes activations with probability p during training and
+// scales survivors by 1/(1−p) (inverted dropout), so inference needs no
+// rescaling. Evaluation passes (train=false) are identity.
+type Dropout struct {
+	name string
+	p    float64
+	rng  *rand.Rand
+	mask []bool
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a dropout layer with drop probability p ∈ [0, 1).
+func NewDropout(name string, p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: %s drop probability %v outside [0,1)", name, p))
+	}
+	return &Dropout{name: name, p: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.p == 0 {
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < out.Len() {
+		d.mask = make([]bool, out.Len())
+	}
+	d.mask = d.mask[:out.Len()]
+	scale := 1 / (1 - d.p)
+	data := out.Data()
+	for i := range data {
+		if d.rng.Float64() < d.p {
+			data[i] = 0
+			d.mask[i] = false
+		} else {
+			data[i] *= scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(d.mask) != grad.Len() {
+		// Forward ran in eval mode or with p == 0: identity.
+		return grad
+	}
+	out := grad.Clone()
+	scale := 1 / (1 - d.p)
+	data := out.Data()
+	for i := range data {
+		if d.mask[i] {
+			data[i] *= scale
+		} else {
+			data[i] = 0
+		}
+	}
+	return out
+}
+
+func (d *Dropout) clone() Layer {
+	return &Dropout{name: d.name, p: d.p, rng: rand.New(rand.NewSource(d.rng.Int63()))}
+}
+
+// LRSchedule adjusts an optimizer's learning rate over training rounds.
+type LRSchedule interface {
+	// Rate returns the learning rate for the given round (0-based).
+	Rate(round int) float64
+}
+
+// ConstantLR keeps the initial rate.
+type ConstantLR struct{ LR float64 }
+
+// Rate implements LRSchedule.
+func (s ConstantLR) Rate(int) float64 { return s.LR }
+
+// StepDecayLR multiplies the rate by Factor every Every rounds.
+type StepDecayLR struct {
+	LR     float64
+	Factor float64
+	Every  int
+}
+
+// Rate implements LRSchedule.
+func (s StepDecayLR) Rate(round int) float64 {
+	if s.Every <= 0 {
+		return s.LR
+	}
+	r := s.LR
+	for i := s.Every; i <= round; i += s.Every {
+		r *= s.Factor
+	}
+	return r
+}
+
+// CosineLR anneals from LR to MinLR over Horizon rounds.
+type CosineLR struct {
+	LR      float64
+	MinLR   float64
+	Horizon int
+}
+
+// Rate implements LRSchedule.
+func (s CosineLR) Rate(round int) float64 {
+	if s.Horizon <= 0 || round >= s.Horizon {
+		return s.MinLR
+	}
+	frac := float64(round) / float64(s.Horizon)
+	return s.MinLR + 0.5*(s.LR-s.MinLR)*(1+math.Cos(math.Pi*frac))
+}

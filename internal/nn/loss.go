@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [B, classes] against integer labels, together with the gradient of the
+// loss w.r.t. the logits (softmax(logits) − onehot(labels)) / B. The softmax
+// is computed with the usual max-subtraction for numerical stability.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects [B, classes], got %v", logits.Shape()))
+	}
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy got %d labels for batch %d", len(labels), batch))
+	}
+	grad = tensor.New(batch, classes)
+	ld, gd := logits.Data(), grad.Data()
+	invB := 1.0 / float64(batch)
+	for i := 0; i < batch; i++ {
+		row := ld[i*classes : (i+1)*classes]
+		grow := gd[i*classes : (i+1)*classes]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			grow[j] = e
+			sum += e
+		}
+		y := labels[i]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
+		}
+		p := grow[y] / sum
+		loss += -math.Log(math.Max(p, 1e-300))
+		for j := range grow {
+			grow[j] = grow[j] / sum * invB
+		}
+		grow[y] -= invB
+	}
+	return loss * invB, grad
+}
+
+// Softmax returns the row-wise softmax probabilities of logits [B, classes].
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: Softmax expects [B, classes], got %v", logits.Shape()))
+	}
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	out := logits.Clone()
+	od := out.Data()
+	for i := 0; i < batch; i++ {
+		row := od[i*classes : (i+1)*classes]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the largest logit in each row of a
+// [B, classes] tensor.
+func Argmax(logits *tensor.Tensor) []int {
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	out := make([]int, batch)
+	ld := logits.Data()
+	for i := 0; i < batch; i++ {
+		row := ld[i*classes : (i+1)*classes]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package nn
+
+import "github.com/mach-fl/mach/internal/tensor"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to params and leaves gradients untouched
+	// (callers zero them at the start of the next step).
+	Step(params []*Param)
+	// LearningRate reports the current step size.
+	LearningRate() float64
+	// SetLearningRate changes the step size (used for LR decay schedules).
+	SetLearningRate(lr float64)
+}
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// weight decay. With zero momentum and decay it is exactly the local update
+// rule of Eq. (4) in the paper: w ← w − γ·g(w, ξ).
+type SGD struct {
+	lr          float64
+	momentum    float64
+	weightDecay float64
+	velocity    map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// SGDOption customizes an SGD optimizer.
+type SGDOption func(*SGD)
+
+// WithMomentum enables classical momentum with coefficient m ∈ [0, 1).
+func WithMomentum(m float64) SGDOption {
+	return func(s *SGD) { s.momentum = m }
+}
+
+// WithWeightDecay enables decoupled L2 weight decay with coefficient wd.
+func WithWeightDecay(wd float64) SGDOption {
+	return func(s *SGD) { s.weightDecay = wd }
+}
+
+// NewSGD returns an SGD optimizer with learning rate lr.
+func NewSGD(lr float64, opts ...SGDOption) *SGD {
+	s := &SGD{lr: lr}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.momentum > 0 {
+		s.velocity = make(map[*Param]*tensor.Tensor)
+	}
+	return s
+}
+
+// LearningRate implements Optimizer.
+func (s *SGD) LearningRate() float64 { return s.lr }
+
+// SetLearningRate implements Optimizer.
+func (s *SGD) SetLearningRate(lr float64) { s.lr = lr }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.weightDecay > 0 {
+			p.Value.ScaleInPlace(1 - s.lr*s.weightDecay)
+		}
+		if s.momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.Value.Shape()...)
+				s.velocity[p] = v
+			}
+			v.ScaleInPlace(s.momentum).AxpyInPlace(1, p.Grad)
+			p.Value.AxpyInPlace(-s.lr, v)
+			continue
+		}
+		p.Value.AxpyInPlace(-s.lr, p.Grad)
+	}
+}

@@ -1,0 +1,77 @@
+package sampling
+
+import "sync"
+
+// MACHP is the perfect-information variant of MACH used as an upper-bound
+// benchmark in the evaluation ("we assume that the training experiences for
+// each device in every time step are known, i.e., without online experience
+// updating", §IV-A3). Instead of UCB estimates it probes the true squared
+// stochastic-gradient norm of every attached device under the current model
+// and feeds those exact values through the same edge-sampling pipeline
+// (Eqs. 16-18).
+type MACHP struct {
+	cfg MACHConfig
+
+	mu    sync.Mutex
+	step  int
+	cache map[int]float64 // device → probed norm, valid for the current step
+}
+
+var _ Strategy = (*MACHP)(nil)
+
+// NewMACHP returns the perfect-information MACH variant.
+func NewMACHP(cfg MACHConfig) (*MACHP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MACHP{cfg: cfg, cache: make(map[int]float64)}, nil
+}
+
+// Name implements Strategy.
+func (*MACHP) Name() string { return "mach-p" }
+
+// Unbiased implements Strategy.
+func (*MACHP) Unbiased() bool { return true }
+
+// Probabilities implements Strategy.
+func (s *MACHP) Probabilities(ctx *EdgeContext) []float64 {
+	norms := make([]float64, len(ctx.Members))
+	total := 0.0
+	for i, m := range ctx.Members {
+		norms[i] = s.probe(ctx, m)
+		total += norms[i]
+	}
+	scores := make([]float64, len(ctx.Members))
+	for i, g := range norms {
+		qHat := 0.0
+		if total > 0 {
+			qHat = ctx.Capacity * g / total
+		}
+		scores[i] = s.cfg.Transfer(qHat)
+	}
+	return capProbabilities(scores, ctx.Capacity, s.cfg.QMin)
+}
+
+// probe measures (or recalls) the device's true gradient norm for the
+// current step. Edges run concurrently within a step, so the cache is
+// guarded; it is invalidated whenever the step advances.
+func (s *MACHP) probe(ctx *EdgeContext, m int) float64 {
+	if ctx.ProbeGradNorm == nil {
+		return 1 // engine without probing support: degrade to uniform
+	}
+	s.mu.Lock()
+	if ctx.Step != s.step {
+		s.step = ctx.Step
+		clear(s.cache)
+	}
+	if v, ok := s.cache[m]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := ctx.ProbeGradNorm(m)
+	s.mu.Lock()
+	s.cache[m] = v
+	s.mu.Unlock()
+	return v
+}

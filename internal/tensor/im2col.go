@@ -1,0 +1,106 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution. It is shared between
+// the im2col/col2im kernels here and the Conv2D layer in internal/nn.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	K             int // square kernel size
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
+
+// Validate reports whether the geometry is internally consistent.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	case g.K <= 0 || g.Stride <= 0 || g.Pad < 0:
+		return fmt.Errorf("tensor: conv geometry has invalid kernel/stride/pad %+v", g)
+	case g.InH+2*g.Pad < g.K || g.InW+2*g.Pad < g.K:
+		return fmt.Errorf("tensor: kernel %d exceeds padded input %dx%d", g.K, g.InH+2*g.Pad, g.InW+2*g.Pad)
+	}
+	return nil
+}
+
+// Im2Col lowers a single image x of shape [InC, InH, InW] into a matrix of
+// shape [InC*K*K, OutH*OutW] so the convolution becomes a matrix product
+// W (outC × InC*K*K) · cols. Out-of-bounds (padding) positions contribute
+// zeros.
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	if x.Rank() != 3 || x.shape[0] != g.InC || x.shape[1] != g.InH || x.shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", x.shape, g))
+	}
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.K * g.K
+	cols := outH * outW
+	out := New(rows, cols)
+	for c := 0; c < g.InC; c++ {
+		chOff := c * g.InH * g.InW
+		for ky := 0; ky < g.K; ky++ {
+			for kx := 0; kx < g.K; kx++ {
+				row := (c*g.K+ky)*g.K + kx
+				dst := out.data[row*cols : (row+1)*cols]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					srcRow := chOff + iy*g.InW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						dst[oy*outW+ox] = x.data[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a [InC*K*K, OutH*OutW] matrix
+// of column gradients back into an image gradient of shape [InC, InH, InW],
+// accumulating where patches overlap.
+func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.K * g.K
+	n := outH * outW
+	if cols.Rank() != 2 || cols.shape[0] != rows || cols.shape[1] != n {
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v", cols.shape, g))
+	}
+	img := New(g.InC, g.InH, g.InW)
+	for c := 0; c < g.InC; c++ {
+		chOff := c * g.InH * g.InW
+		for ky := 0; ky < g.K; ky++ {
+			for kx := 0; kx < g.K; kx++ {
+				row := (c*g.K+ky)*g.K + kx
+				src := cols.data[row*n : (row+1)*n]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride + ky - g.Pad
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					dstRow := chOff + iy*g.InW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride + kx - g.Pad
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						img.data[dstRow+ix] += src[oy*outW+ox]
+					}
+				}
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for 2-D tensors a (m×k) and b (k×n).
+// The inner loops are ordered i-k-j so the innermost loop streams through
+// contiguous rows of b, which is the standard cache-friendly layout for
+// row-major storage.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions disagree: %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matMulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	dst.Zero()
+	matMulInto(dst.data, a.data, b.data, m, k, n)
+}
+
+func matMulInto(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), producing m×n. This is
+// the backward-pass form used when computing weight gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions disagree: %vᵀ × %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), producing m×n. This is
+// the backward-pass form used when propagating gradients through a dense
+// layer.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions disagree: %v × %vᵀ", a.shape, b.shape))
+	}
+	n := b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires a 2-D tensor, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
