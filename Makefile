@@ -1,0 +1,19 @@
+# Tier-1+ gate: vet + build + full tests + race detector on the concurrent
+# packages. CI and every PR run this.
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Engine micro-benchmark; writes BENCH_engine.json in the repo root.
+bench-engine:
+	go run ./cmd/machbench -exp engine
+
+bench:
+	go test -bench=. -benchmem ./...
+
+.PHONY: check test race bench bench-engine

@@ -53,7 +53,7 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | all")
+		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | all")
 		task  = flag.String("task", "", "task: mnist | fmnist | cifar10 (default: all tasks)")
 		scale = flag.String("scale", "ci", "scale: ci | full")
 		seed  = flag.Int64("seed", 1, "base random seed")
@@ -82,6 +82,13 @@ func run() error {
 		tg      = flag.Int("tg", 0, "override cloud interval Tg (0 = preset)")
 	)
 	flag.Parse()
+
+	if *exp == "engine" {
+		// The engine micro-benchmark runs a frozen configuration so its
+		// numbers are comparable across commits; task/scale flags don't
+		// apply.
+		return runEngine(*outDir)
+	}
 
 	tasks := bench.AllTasks()
 	if *task != "" {
@@ -269,6 +276,40 @@ func runAblations(cfg bench.Config) error {
 		return err
 	}
 	fmt.Printf("[ablations %s done in %v]\n\n", cfg.Task, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runEngine measures the training engine itself (wall time per step,
+// allocations, devices-trained/sec across worker-pool sizes) and writes
+// BENCH_engine.json next to the binary or into -out.
+func runEngine(outDir string) error {
+	start := time.Now()
+	r, err := bench.RunEngineBench(bench.EngineBenchPreset())
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderEngineBench(os.Stdout, r); err != nil {
+		return err
+	}
+	path := "BENCH_engine.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+		path = filepath.Join(outDir, path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	err = r.WriteEngineBenchJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("\n[engine bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
 	return nil
 }
 

@@ -74,14 +74,40 @@ func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
 	return x, labels
 }
 
+// BatchInto assembles the samples at the given indices into caller-owned
+// buffers. x must be [len(indices), InC, InH, InW] and labels must have
+// length len(indices); both are fully overwritten. The hot path keeps one
+// pair of buffers per device so every local step reuses the same storage.
+func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, indices []int) {
+	b := len(indices)
+	sl := d.SampleLen()
+	if x.Len() != b*sl || len(labels) != b {
+		panic(fmt.Sprintf("dataset: BatchInto buffers (%d elems, %d labels) do not fit %d samples of length %d",
+			x.Len(), len(labels), b, sl))
+	}
+	for i, idx := range indices {
+		copy(x.Data()[i*sl:(i+1)*sl], d.images[idx])
+		labels[i] = d.labels[idx]
+	}
+}
+
 // RandomBatch draws a uniform random minibatch of the given size with
 // replacement, matching the ξ sampling of the local update rule (Eq. 4).
 func (d *Dataset) RandomBatch(rng *rand.Rand, size int) (*tensor.Tensor, []int) {
-	idx := make([]int, size)
+	x := tensor.New(size, d.InC, d.InH, d.InW)
+	labels := make([]int, size)
+	d.RandomBatchInto(rng, x, labels, make([]int, size))
+	return x, labels
+}
+
+// RandomBatchInto is RandomBatch writing into caller-owned buffers. idx is
+// index scratch of length equal to the batch size; the RNG draws exactly one
+// Intn per sample in slot order, identical to RandomBatch.
+func (d *Dataset) RandomBatchInto(rng *rand.Rand, x *tensor.Tensor, labels, idx []int) {
 	for i := range idx {
 		idx[i] = rng.Intn(len(d.images))
 	}
-	return d.Batch(idx)
+	d.BatchInto(x, labels, idx)
 }
 
 // All returns the entire dataset as one batch.

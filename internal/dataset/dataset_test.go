@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/mach-fl/mach/internal/tensor"
 )
 
 func TestDatasetAppendAndBatch(t *testing.T) {
@@ -158,4 +160,57 @@ func TestSampleClassValidProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// RandomBatchInto must draw the identical RNG stream and fill the identical
+// pixels/labels as RandomBatch — the simulator's determinism across worker
+// counts depends on it.
+func TestRandomBatchIntoMatchesRandomBatch(t *testing.T) {
+	d := NewDataset("toy", 1, 2, 2, 3)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 9; i++ {
+		img := make([]float64, 4)
+		for j := range img {
+			img[j] = rng.NormFloat64()
+		}
+		if err := d.Append(img, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const size = 5
+	r1 := rand.New(rand.NewSource(99))
+	r2 := rand.New(rand.NewSource(99))
+	wantX, wantY := d.RandomBatch(r1, size)
+
+	x := tensor.New(size, 1, 2, 2)
+	x.Fill(-1) // dirty scratch must be fully overwritten
+	labels := make([]int, size)
+	idx := make([]int, size)
+	d.RandomBatchInto(r2, x, labels, idx)
+	for i, v := range wantX.Data() {
+		if x.Data()[i] != v {
+			t.Fatalf("pixel %d differs: %v vs %v", i, x.Data()[i], v)
+		}
+	}
+	for i, v := range wantY {
+		if labels[i] != v {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	if r1.Int63() != r2.Int63() {
+		t.Fatal("RNG streams diverged")
+	}
+}
+
+func TestBatchIntoRejectsWrongSizes(t *testing.T) {
+	d := NewDataset("toy", 1, 2, 2, 3)
+	if err := d.Append([]float64{1, 2, 3, 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undersized buffers")
+		}
+	}()
+	d.BatchInto(tensor.New(1, 1, 1, 1), make([]int, 1), []int{0})
 }

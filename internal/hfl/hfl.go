@@ -6,20 +6,27 @@
 // the realized indicator B^t_{n,m} — so every edge trains on a different,
 // time-varying device set.
 //
-// Edges execute concurrently within a time step; all randomness is derived
-// deterministically from the experiment seed so runs are reproducible
-// regardless of goroutine interleaving.
+// Each time step splits into a sequential decision phase — strategy
+// probabilities and every Bernoulli coin drawn from per-edge RNG streams in
+// member order — and a parallel execution phase that dispatches the sampled
+// devices' local SGD to a bounded worker pool shared across edges.
+// Aggregation then reduces uploads back in member order, so runs are
+// bit-identical for every worker count (see DESIGN.md, "Concurrency &
+// determinism model").
 package hfl
 
 import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/mobility"
 	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/parallel"
 	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/tensor"
 )
 
 // ArchFunc constructs the model architecture. Every device, every edge and
@@ -67,6 +74,17 @@ type Config struct {
 	// that sampled it. Training experience is still recorded on the device
 	// (it trained); only the upload is lost. 0 disables failures.
 	UploadFailureProb float64
+	// Workers bounds the worker pool that executes per-device local
+	// updates and evaluation shards (0 = runtime.GOMAXPROCS). All random
+	// decisions are made before work is dispatched and results are reduced
+	// in member order, so results are bit-identical for every value.
+	Workers int
+	// EvalShards splits test-set evaluation into this fixed number of
+	// shards (0 = 8). The shard count — not the core count — determines
+	// how losses are grouped in the reduction, so evaluation results do
+	// not depend on the machine; sharding also bounds the peak im2col
+	// footprint, which previously scaled with the whole test set.
+	EvalShards int
 }
 
 // Aggregation selects how sampled local models merge into the edge model.
@@ -149,8 +167,34 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hfl: unknown aggregation mode %d", c.Aggregation)
 	case c.UploadFailureProb < 0 || c.UploadFailureProb >= 1:
 		return fmt.Errorf("hfl: upload failure probability %v outside [0,1)", c.UploadFailureProb)
+	case c.Workers < 0:
+		return fmt.Errorf("hfl: workers %d negative", c.Workers)
+	case c.EvalShards < 0:
+		return fmt.Errorf("hfl: eval shards %d negative", c.EvalShards)
 	}
 	return nil
+}
+
+// defaultEvalShards fixes how many shards full-test-set evaluation splits
+// into when Config.EvalShards is zero. It is a constant, not a function of
+// the core count, so evaluation losses reduce identically on every machine.
+const defaultEvalShards = 8
+
+// evalShards returns the configured shard count, defaulting to
+// defaultEvalShards.
+func (c Config) evalShards() int {
+	if c.EvalShards == 0 {
+		return defaultEvalShards
+	}
+	return c.EvalShards
+}
+
+// workers returns the configured worker count, defaulting to GOMAXPROCS.
+func (c Config) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 // aggregation returns the configured mode, defaulting to AggInverseUpdate.
@@ -162,6 +206,10 @@ func (c Config) aggregation() Aggregation {
 }
 
 // device is one mobile device: its local data and a reusable model instance.
+// The scratch buffers at the bottom make steady-state local updates
+// allocation-free; they are safe because a device belongs to exactly one
+// edge per step (the schedule's partition property), so at most one worker
+// touches a device at a time.
 type device struct {
 	id    int
 	data  *dataset.Dataset
@@ -169,6 +217,12 @@ type device struct {
 	opt   *nn.SGD
 	rng   *rand.Rand
 	dist  []float64 // cached local label distribution
+
+	sqNorms  []float64      // per-step gradient-norm window (observers copy)
+	batchX   *tensor.Tensor // minibatch pixels [BatchSize, InC, InH, InW]
+	batchY   []int          // minibatch labels
+	batchIdx []int          // minibatch index scratch
+	upload   []float64      // flat parameter upload, consumed by aggregation
 }
 
 // Engine runs Algorithm 1.
@@ -186,6 +240,31 @@ type Engine struct {
 	evalNet  *nn.Network
 	probeNet *nn.Network
 	capacity float64 // K_n, identical across edges as in the paper
+
+	// pool executes per-device local updates and evaluation shards while a
+	// Run is active; nil otherwise (standalone evaluation falls back to
+	// transient goroutines).
+	pool *parallel.Pool
+
+	// Steady-state scratch. All of it is touched only from the sequential
+	// phases of a step (decide / finalize / aggregate), never from pool
+	// workers.
+	plans       []edgePlan    // per-edge decision-phase output
+	aggResults  []localResult // per-edge upload list, rebuilt in member order
+	aggNext     [][]float64   // per-edge aggregation double-buffer
+	cloudNext   []float64     // cloud aggregation double-buffer
+	cloudCounts []int         // per-edge member counts of the cloud round
+	evalIdx     []int         // evaluation sample indices
+	evalShard   []evalShardState
+}
+
+// evalShardState is one evaluation shard's private network and batch
+// buffers. Shard boundaries are a pure function of the test-set size and the
+// fixed shard count, so in steady state the buffers are reused as-is.
+type evalShardState struct {
+	net *nn.Network
+	x   *tensor.Tensor
+	y   []int
 }
 
 // New assembles an engine. deviceData holds one local dataset per device and
@@ -251,6 +330,8 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 	for n := range e.edge {
 		e.edge[n] = append([]float64(nil), e.global...)
 	}
+	e.plans = make([]edgePlan, schedule.Edges)
+	e.aggNext = make([][]float64, schedule.Edges)
 	return e, nil
 }
 

@@ -3,11 +3,13 @@ package hfl
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
+	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/metrics"
 	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/parallel"
 	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/tensor"
 )
 
 // Result summarizes one training run.
@@ -79,42 +81,81 @@ type localResult struct {
 	size   int     // |D_m|: plain aggregation weights by dataset size
 }
 
+// plannedDevice is one sampled device's decision-phase outcome, later filled
+// in with its execution-phase result.
+type plannedDevice struct {
+	m       int     // device id
+	weight  float64 // 1/(|M_n|·q) for unbiased strategies, 1 for biased
+	upload  bool    // false when the upload-failure coin dropped the result
+	sqNorms []float64
+	err     error
+}
+
+// edgePlan is one edge's decision-phase output for the current step.
+type edgePlan struct {
+	devs []plannedDevice
+}
+
 // Run executes Algorithm 1 and returns the training history.
+//
+// Every time step runs in three phases: a sequential *decision* phase draws
+// all of the step's randomness (strategy probabilities, sampling coins,
+// upload-failure coins) from the per-edge RNG streams in member order; a
+// parallel *execution* phase dispatches the sampled devices' local SGD to a
+// bounded worker pool shared across edges; a sequential *finalize* phase
+// observes experiences and aggregates uploads back in member order. Because
+// no random decision depends on execution timing and every reduction is
+// order-fixed, the result is bit-identical for every Config.Workers value.
 func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 	var o runOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
 	res := &Result{History: &metrics.History{}}
-	probeNets := make([]*nn.Network, e.schedule.Edges)
-	for n := range probeNets {
-		probeNets[n] = e.evalNet.Clone()
-	}
 	probeOpt := nn.NewSGD(0) // zero step: probing measures gradients only
+
+	e.pool = parallel.NewPool(e.cfg.workers())
+	defer func() {
+		e.pool.Close()
+		e.pool = nil
+	}()
 
 	modelBytes := int64(len(e.global)) * 8
 	for t := 0; t < e.cfg.Steps; t++ {
-		counts := make([]edgeStepCounts, e.schedule.Edges)
-		var wg sync.WaitGroup
-		errs := make([]error, e.schedule.Edges)
+		// Decision phase: owns every RNG draw of the step.
 		for n := 0; n < e.schedule.Edges; n++ {
-			wg.Add(1)
-			go func(n int) {
-				defer wg.Done()
-				counts[n], errs[n] = e.edgeStep(t, n, probeNets[n], probeOpt)
-			}(n)
-		}
-		wg.Wait()
-		for n, err := range errs {
-			if err != nil {
+			if err := e.edgeDecide(t, n, probeOpt); err != nil {
 				return nil, fmt.Errorf("hfl: step %d edge %d: %w", t, n, err)
 			}
 		}
+
+		// Execution phase: per-device local SGD on the shared pool. Each
+		// task touches only its own device's state (the schedule assigns a
+		// device to exactly one edge per step) and reads the step's frozen
+		// edge models.
+		g := e.pool.Group()
+		for n := range e.plans {
+			edgeParams := e.edge[n]
+			devs := e.plans[n].devs
+			for i := range devs {
+				pd := &devs[i]
+				g.Go(func() {
+					pd.sqNorms, pd.err = e.localUpdate(e.devices[pd.m], edgeParams)
+				})
+			}
+		}
+		g.Wait()
+
+		// Finalize phase: member-order observation and aggregation.
 		stepSampled := 0
-		for _, c := range counts {
-			stepSampled += c.uploaded
-			res.Comm.DeviceDownlinkBytes += int64(c.trained) * modelBytes
-			res.Comm.DeviceUplinkBytes += int64(c.uploaded) * modelBytes
+		for n := 0; n < e.schedule.Edges; n++ {
+			counts, err := e.edgeFinalize(t, n)
+			if err != nil {
+				return nil, fmt.Errorf("hfl: step %d edge %d: %w", t, n, err)
+			}
+			stepSampled += counts.uploaded
+			res.Comm.DeviceDownlinkBytes += int64(counts.trained) * modelBytes
+			res.Comm.DeviceUplinkBytes += int64(counts.uploaded) * modelBytes
 		}
 		res.SampledPerStep = append(res.SampledPerStep, stepSampled)
 		res.TotalSampled += stepSampled
@@ -142,7 +183,10 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			evalDue = (t+1)%e.cfg.EvalEvery == 0
 		}
 		if evalDue || t == e.cfg.Steps-1 {
-			acc, loss := e.evaluate(t)
+			acc, loss, err := e.evaluate(t)
+			if err != nil {
+				return nil, fmt.Errorf("hfl: step %d: %w", t, err)
+			}
 			res.History.Add(metrics.Point{Step: t + 1, Accuracy: acc, Loss: loss})
 			if o.evalFn != nil {
 				o.evalFn(t+1, acc, loss)
@@ -165,13 +209,19 @@ type edgeStepCounts struct {
 	uploaded int
 }
 
-// edgeStep performs device sampling, local updating and edge aggregation for
-// one edge at one time step (Algorithm 1, lines 3-11).
-func (e *Engine) edgeStep(t, n int, probeNet *nn.Network, probeOpt *nn.SGD) (edgeStepCounts, error) {
-	var counts edgeStepCounts
+// edgeDecide performs the sampling decisions for one edge at one time step
+// (Algorithm 1, lines 3-5) and records them in e.plans[n]. It draws from the
+// edge's deterministic RNG stream in member order: strategy probabilities
+// first, then per member one sampling coin and — for sampled devices under a
+// positive failure probability — one upload-failure coin. Local updates never
+// touch this stream, so pulling the failure coin forward from the serial
+// post-training position leaves every draw at the same stream offset.
+func (e *Engine) edgeDecide(t, n int, probeOpt *nn.SGD) error {
+	plan := &e.plans[n]
+	plan.devs = plan.devs[:0]
 	members := e.schedule.MembersAt(t, n)
 	if len(members) == 0 {
-		return counts, nil
+		return nil
 	}
 	edgeRNG := rand.New(rand.NewSource(mix(e.cfg.Seed, int64(t)+1, int64(n)+101)))
 	ctx := &sampling.EdgeContext{
@@ -184,15 +234,13 @@ func (e *Engine) edgeStep(t, n int, probeNet *nn.Network, probeOpt *nn.SGD) (edg
 			return e.devices[m].dist
 		},
 		ProbeGradNorm: func(m int) float64 {
-			return e.probeGradNorm(probeNet, probeOpt, t, n, m)
+			return e.probeGradNorm(e.probeNet, probeOpt, t, n, m)
 		},
 	}
 	probs := e.strategy.Probabilities(ctx)
 	if len(probs) != len(members) {
-		return counts, fmt.Errorf("strategy %q returned %d probabilities for %d members", e.strategy.Name(), len(probs), len(members))
+		return fmt.Errorf("strategy %q returned %d probabilities for %d members", e.strategy.Name(), len(probs), len(members))
 	}
-
-	var results []localResult
 	unbiased := e.strategy.Unbiased()
 	for i, m := range members {
 		q := probs[i]
@@ -200,56 +248,88 @@ func (e *Engine) edgeStep(t, n int, probeNet *nn.Network, probeOpt *nn.SGD) (edg
 			continue // not sampled: 1^t_{m,n} = 0
 		}
 		if unbiased && q <= 0 {
-			return counts, fmt.Errorf("strategy %q sampled device %d with probability %v", e.strategy.Name(), m, q)
+			return fmt.Errorf("strategy %q sampled device %d with probability %v", e.strategy.Name(), m, q)
 		}
-		dev := e.devices[m]
-		sqNorms, err := e.localUpdate(dev, e.edge[n])
-		if err != nil {
-			return counts, fmt.Errorf("device %d: %w", m, err)
-		}
-		counts.trained++
-		if e.observer != nil {
-			e.observer.Observe(t, n, m, sqNorms)
-		}
+		upload := true
 		if e.cfg.UploadFailureProb > 0 && edgeRNG.Float64() < e.cfg.UploadFailureProb {
-			continue // device moved away before uploading (see Config)
+			upload = false // device moved away before uploading (see Config)
 		}
 		weight := 1.0
 		if unbiased {
 			weight = 1 / (float64(len(members)) * q) // Eq. (5)
 		}
-		results = append(results, localResult{params: dev.model.ParamVector(), weight: weight, size: dev.data.Len()})
+		plan.devs = append(plan.devs, plannedDevice{m: m, weight: weight, upload: upload})
 	}
-	e.aggregateEdge(n, results, unbiased)
+	return nil
+}
+
+// edgeFinalize walks one edge's executed plan in member order: it surfaces
+// local-update errors, records training experience with the strategy's
+// observer, collects the surviving uploads and merges them into the edge
+// model (Algorithm 1, lines 6-11).
+func (e *Engine) edgeFinalize(t, n int) (edgeStepCounts, error) {
+	var counts edgeStepCounts
+	plan := &e.plans[n]
+	results := e.aggResults[:0]
+	for i := range plan.devs {
+		pd := &plan.devs[i]
+		if pd.err != nil {
+			return counts, fmt.Errorf("device %d: %w", pd.m, pd.err)
+		}
+		counts.trained++
+		if e.observer != nil {
+			e.observer.Observe(t, n, pd.m, pd.sqNorms)
+		}
+		if !pd.upload {
+			continue
+		}
+		dev := e.devices[pd.m]
+		dev.upload = dev.model.ParamVectorInto(dev.upload)
+		results = append(results, localResult{params: dev.upload, weight: pd.weight, size: dev.data.Len()})
+	}
+	e.aggregateEdge(n, results, e.strategy.Unbiased())
 	counts.uploaded = len(results)
+	e.aggResults = results[:0] // keep the grown capacity for the next edge
 	return counts, nil
 }
 
 // localUpdate runs I local SGD steps from the edge model (Eq. 4) and returns
-// the squared norms of the I stochastic gradients.
+// the squared norms of the I stochastic gradients. The returned slice is the
+// device's reusable window buffer: observers copy what they keep, and the
+// next step overwrites it.
 func (e *Engine) localUpdate(dev *device, edgeParams []float64) ([]float64, error) {
 	if err := dev.model.SetParamVector(edgeParams); err != nil {
 		return nil, err
 	}
-	sqNorms := make([]float64, e.cfg.LocalEpochs)
-	for tau := 0; tau < e.cfg.LocalEpochs; tau++ {
-		x, y := dev.data.RandomBatch(dev.rng, e.cfg.BatchSize)
-		_, gn := dev.model.TrainStep(x, y, dev.opt)
-		sqNorms[tau] = gn
+	if dev.sqNorms == nil {
+		dev.sqNorms = make([]float64, e.cfg.LocalEpochs)
+		dev.batchX = tensor.New(e.cfg.BatchSize, dev.data.InC, dev.data.InH, dev.data.InW)
+		dev.batchY = make([]int, e.cfg.BatchSize)
+		dev.batchIdx = make([]int, e.cfg.BatchSize)
 	}
-	return sqNorms, nil
+	for tau := 0; tau < e.cfg.LocalEpochs; tau++ {
+		dev.data.RandomBatchInto(dev.rng, dev.batchX, dev.batchY, dev.batchIdx)
+		_, gn := dev.model.TrainStep(dev.batchX, dev.batchY, dev.opt)
+		dev.sqNorms[tau] = gn
+	}
+	return dev.sqNorms, nil
 }
 
 // aggregateEdge merges sampled local models into the edge model. For
 // unbiased strategies the inverse-probability weights of Eq. (5) are applied
 // to the model updates (or, with AggLiteralEq5, to the models themselves); for
 // biased active-selection strategies a plain average over participants is
-// used.
+// used. The edge keeps a double buffer: the outgoing model becomes the next
+// aggregation's scratch, so steady-state aggregation does not allocate.
 func (e *Engine) aggregateEdge(n int, results []localResult, unbiased bool) {
 	if len(results) == 0 {
 		return // no participants: edge model carries over
 	}
 	cur := e.edge[n]
+	next := e.aggNext[n]
+	if len(next) != len(cur) {
+		next = make([]float64, len(cur))
+	}
 	mode := e.cfg.aggregation()
 	if !unbiased {
 		mode = AggPlain // active selection always plain-averages
@@ -262,45 +342,63 @@ func (e *Engine) aggregateEdge(n int, results []localResult, unbiased bool) {
 		for _, r := range results {
 			total += r.size
 		}
-		next := make([]float64, len(cur))
+		for j := range next {
+			next[j] = 0
+		}
 		for _, r := range results {
-			w := float64(r.size) / float64(total)
+			// total == 0 can only mean every participant reported an empty
+			// dataset; fall back to a plain mean instead of dividing by 0.
+			w := 1.0 / float64(len(results))
+			if total > 0 {
+				w = float64(r.size) / float64(total)
+			}
 			for j, v := range r.params {
 				next[j] += w * v
 			}
 		}
-		e.edge[n] = next
 	case AggLiteralEq5:
-		next := make([]float64, len(cur))
+		for j := range next {
+			next[j] = 0
+		}
 		for _, r := range results {
 			for j, v := range r.params {
 				next[j] += r.weight * v
 			}
 		}
-		e.edge[n] = next
 	default: // AggInverseUpdate: w_n ← w_n + Σ weight·(w_m − w_n)
-		next := append([]float64(nil), cur...)
+		copy(next, cur)
 		for _, r := range results {
 			for j, v := range r.params {
 				next[j] += r.weight * (v - cur[j])
 			}
 		}
-		e.edge[n] = next
 	}
+	e.edge[n], e.aggNext[n] = next, cur
 }
 
 // cloudAggregate merges edge models into the global model with the
-// member-count weights of Eq. (6) and redistributes it to every edge.
+// member-count weights of Eq. (6) and redistributes it to every edge. Like
+// edge aggregation it double-buffers the global vector, so cloud rounds stop
+// allocating after the first.
 func (e *Engine) cloudAggregate(t int) {
-	total := 0
-	counts := make([]int, e.schedule.Edges)
-	for n := range counts {
-		counts[n] = len(e.schedule.MembersAt(t, n))
-		total += counts[n]
+	if e.cloudCounts == nil {
+		e.cloudCounts = make([]int, e.schedule.Edges)
 	}
-	next := make([]float64, len(e.global))
+	total := 0
+	for n := range e.cloudCounts {
+		e.cloudCounts[n] = len(e.schedule.MembersAt(t, n))
+		total += e.cloudCounts[n]
+	}
+	next := e.cloudNext
+	if len(next) != len(e.global) {
+		next = make([]float64, len(e.global))
+	} else {
+		for j := range next {
+			next[j] = 0
+		}
+	}
 	for n, params := range e.edge {
-		w := float64(counts[n]) / float64(total)
+		w := float64(e.cloudCounts[n]) / float64(total)
 		if w == 0 {
 			continue
 		}
@@ -308,7 +406,7 @@ func (e *Engine) cloudAggregate(t int) {
 			next[j] += w * v
 		}
 	}
-	e.global = next
+	e.global, e.cloudNext = next, e.global
 	for n := range e.edge {
 		copy(e.edge[n], e.global)
 	}
@@ -319,7 +417,10 @@ func (e *Engine) cloudAggregate(t int) {
 // MACH-P).
 func (e *Engine) probeGradNorm(probeNet *nn.Network, probeOpt *nn.SGD, t, n, m int) float64 {
 	if err := probeNet.SetParamVector(e.edge[n]); err != nil {
-		return 0
+		// The strategy callback has no error channel, and a length mismatch
+		// here means the engine's networks are wired wrong — fail loudly
+		// instead of silently scoring the device as zero.
+		panic(fmt.Sprintf("hfl: probe gradient of device %d (step %d, edge %d): %v", m, t, n, err))
 	}
 	rng := rand.New(rand.NewSource(mix(e.cfg.Seed, int64(t)+7, int64(m)+301)))
 	x, y := e.devices[m].data.RandomBatch(rng, e.cfg.BatchSize)
@@ -331,25 +432,124 @@ func (e *Engine) probeGradNorm(probeNet *nn.Network, probeOpt *nn.SGD, t, n, m i
 // model and returns the confusion matrix, exposing the per-class (macro)
 // view of the evaluation.
 func (e *Engine) EvaluateConfusion() (*metrics.Confusion, error) {
-	if err := e.evalNet.SetParamVector(e.global); err != nil {
-		return nil, err
+	n := e.test.Len()
+	idx := make([]int, n)
+	preds := make([]int, n)
+	labels := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+		labels[i] = e.test.Label(i)
 	}
-	x, y := e.test.All()
-	logits := e.evalNet.Forward(x, false)
-	return metrics.NewConfusion(e.test.Classes, nn.Argmax(logits), y)
+	if _, _, err := e.evalSums(idx, preds); err != nil {
+		return nil, fmt.Errorf("hfl: evaluate confusion: %w", err)
+	}
+	return metrics.NewConfusion(e.test.Classes, preds, labels)
 }
 
 // evaluate computes the global model's accuracy and loss on the test set
 // (optionally a deterministic subsample of EvalBatch samples).
-func (e *Engine) evaluate(t int) (acc, loss float64) {
-	if err := e.evalNet.SetParamVector(e.global); err != nil {
-		return 0, 0
-	}
+func (e *Engine) evaluate(t int) (acc, loss float64, err error) {
 	if e.cfg.EvalBatch > 0 && e.cfg.EvalBatch < e.test.Len() {
 		rng := rand.New(rand.NewSource(mix(e.cfg.Seed, 0xE7A1, int64(t))))
-		x, y := e.test.RandomBatch(rng, e.cfg.EvalBatch)
-		return e.evalNet.Evaluate(x, y)
+		e.evalIdx = resizeInts(e.evalIdx, e.cfg.EvalBatch)
+		for i := range e.evalIdx {
+			e.evalIdx[i] = rng.Intn(e.test.Len())
+		}
+	} else {
+		e.evalIdx = resizeInts(e.evalIdx, e.test.Len())
+		for i := range e.evalIdx {
+			e.evalIdx[i] = i
+		}
 	}
-	x, y := e.test.All()
-	return e.evalNet.Evaluate(x, y)
+	correct, lossSum, err := e.evalSums(e.evalIdx, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	total := float64(len(e.evalIdx))
+	return float64(correct) / total, lossSum * (1 / total), nil
+}
+
+// evalSums loads the global model into per-shard evaluation networks and
+// scores the test samples at the given indices. The index list splits into
+// cfg.evalShards() contiguous shards — a fixed count independent of the core
+// count — whose (correct, lossSum) pairs are reduced in shard order, so the
+// result is the same on every machine and for every worker count. Sharding
+// also bounds the per-forward im2col footprint to a shard's batch instead of
+// the whole test set. When preds is non-nil the shards instead record each
+// sample's predicted class at its position in the index list (losses are
+// skipped).
+func (e *Engine) evalSums(indices []int, preds []int) (correct int, lossSum float64, err error) {
+	shards := e.cfg.evalShards()
+	if shards > len(indices) {
+		shards = len(indices)
+	}
+	for len(e.evalShard) < shards {
+		e.evalShard = append(e.evalShard, evalShardState{net: e.evalNet.Clone()})
+	}
+	for s := 0; s < shards; s++ {
+		if err := e.evalShard[s].net.SetParamVector(e.global); err != nil {
+			return 0, 0, fmt.Errorf("load global model into evaluation shard %d: %w", s, err)
+		}
+	}
+	type sums struct {
+		correct int
+		lossSum float64
+	}
+	out := make([]sums, shards)
+	runShard := func(s int) {
+		start, end := len(indices)*s/shards, len(indices)*(s+1)/shards
+		st := &e.evalShard[s]
+		st.x = ensureBatch(st.x, end-start, e.test)
+		st.y = resizeInts(st.y, end-start)
+		e.test.BatchInto(st.x, st.y, indices[start:end])
+		if preds == nil {
+			out[s].correct, out[s].lossSum = st.net.EvaluateSums(st.x, st.y)
+			return
+		}
+		logits := st.net.Forward(st.x, false)
+		classes := logits.Dim(1)
+		ld := logits.Data()
+		for i := 0; i < end-start; i++ {
+			row := ld[i*classes : (i+1)*classes]
+			best := 0
+			for j, v := range row {
+				if v > row[best] {
+					best = j
+				}
+			}
+			preds[start+i] = best
+		}
+	}
+	if e.pool != nil {
+		g := e.pool.Group()
+		for s := 0; s < shards; s++ {
+			g.Go(func() { runShard(s) })
+		}
+		g.Wait()
+	} else {
+		parallel.ForEach(e.cfg.workers(), shards, runShard)
+	}
+	for _, o := range out {
+		correct += o.correct
+		lossSum += o.lossSum
+	}
+	return correct, lossSum, nil
+}
+
+// ensureBatch returns a [b, InC, InH, InW] batch tensor for dataset d,
+// reusing t when its batch dimension already matches.
+func ensureBatch(t *tensor.Tensor, b int, d *dataset.Dataset) *tensor.Tensor {
+	if t != nil && t.Dim(0) == b {
+		return t
+	}
+	return tensor.New(b, d.InC, d.InH, d.InW)
+}
+
+// resizeInts returns s resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified; callers overwrite.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }

@@ -1,0 +1,209 @@
+package hfl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// runWithWorkers executes one seeded run with the given worker count and
+// returns everything that must be invariant across worker counts.
+func runWithWorkers(t *testing.T, strategy func(t *testing.T) sampling.Strategy, workers int) (*Result, []float64) {
+	t.Helper()
+	parts, test, sched := tinySetup(t, 12, 3, 12, 21)
+	cfg := tinyConfig(12, 21)
+	cfg.Workers = workers
+	cfg.UploadFailureProb = 0.2 // exercise the failure coin's stream position
+	cfg.EvalBatch = 100         // exercise the subsampled evaluation path
+	eng, err := New(cfg, tinyArch, parts, test, sched, strategy(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng.GlobalParams()
+}
+
+// TestRunBitIdenticalAcrossWorkerCounts is the determinism contract of the
+// decision/execution phase split: the realized sampling decisions, training
+// history (accuracy AND loss, bitwise), communication totals and final
+// global parameters must not depend on Config.Workers.
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	strategies := map[string]func(t *testing.T) sampling.Strategy{
+		"uniform": func(*testing.T) sampling.Strategy { return sampling.NewUniform() },
+		"mach": func(t *testing.T) sampling.Strategy {
+			s, err := sampling.NewMACH(12, sampling.DefaultMACHConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"machp": func(t *testing.T) sampling.Strategy {
+			s, err := sampling.NewMACHP(sampling.DefaultMACHConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for name, mk := range strategies {
+		t.Run(name, func(t *testing.T) {
+			refRes, refParams := runWithWorkers(t, mk, 1)
+			for _, workers := range []int{3, 8} {
+				res, params := runWithWorkers(t, mk, workers)
+				if len(res.SampledPerStep) != len(refRes.SampledPerStep) {
+					t.Fatalf("workers=%d: %d steps vs %d", workers, len(res.SampledPerStep), len(refRes.SampledPerStep))
+				}
+				for i, v := range refRes.SampledPerStep {
+					if res.SampledPerStep[i] != v {
+						t.Fatalf("workers=%d: SampledPerStep[%d] = %d, want %d", workers, i, res.SampledPerStep[i], v)
+					}
+				}
+				if res.TotalSampled != refRes.TotalSampled || res.Comm != refRes.Comm {
+					t.Fatalf("workers=%d: totals diverged: %+v vs %+v", workers, res, refRes)
+				}
+				refPts, pts := refRes.History.Points, res.History.Points
+				if len(pts) != len(refPts) {
+					t.Fatalf("workers=%d: %d history points vs %d", workers, len(pts), len(refPts))
+				}
+				for i := range refPts {
+					if pts[i] != refPts[i] {
+						t.Fatalf("workers=%d: history[%d] = %+v, want %+v", workers, i, pts[i], refPts[i])
+					}
+				}
+				for j, v := range refParams {
+					if params[j] != v {
+						t.Fatalf("workers=%d: global param %d = %v, want %v", workers, j, params[j], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvalShardCountIsMachineProperty checks that the shard count — a config
+// knob, not the core count — determines the evaluation reduction: accuracy
+// is exact under any shard count, loss agrees to rounding.
+func TestEvalShardCountIsMachineProperty(t *testing.T) {
+	var got []struct{ acc, loss float64 }
+	for _, shards := range []int{1, 4, 8} {
+		parts, test, sched := tinySetup(t, 8, 2, 5, 9)
+		cfg := tinyConfig(5, 9)
+		cfg.EvalShards = shards
+		eng, err := New(cfg, tinyArch, parts, test, sched, sampling.NewUniform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, loss, err := eng.evaluate(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, struct{ acc, loss float64 }{acc, loss})
+	}
+	for _, g := range got[1:] {
+		if g.acc != got[0].acc {
+			t.Fatalf("accuracy depends on shard count: %v vs %v", g.acc, got[0].acc)
+		}
+		if math.Abs(g.loss-got[0].loss) > 1e-9 {
+			t.Fatalf("loss grouping drifted beyond rounding: %v vs %v", g.loss, got[0].loss)
+		}
+	}
+}
+
+// TestAggregateEdgeSteadyStateZeroAllocs pins the double-buffer contract:
+// after the first call installs the buffers, edge aggregation never
+// allocates, in every mode.
+func TestAggregateEdgeSteadyStateZeroAllocs(t *testing.T) {
+	parts, test, sched := tinySetup(t, 8, 2, 5, 3)
+	for _, mode := range []Aggregation{AggInverseUpdate, AggPlain, AggLiteralEq5} {
+		cfg := tinyConfig(5, 3)
+		cfg.Aggregation = mode
+		eng, err := New(cfg, tinyArch, parts, test, sched, sampling.NewUniform())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := []localResult{
+			{params: eng.GlobalParams(), weight: 0.7, size: 40},
+			{params: eng.GlobalParams(), weight: 1.3, size: 40},
+		}
+		eng.aggregateEdge(0, results, true) // warm-up installs the buffer
+		allocs := testing.AllocsPerRun(50, func() {
+			eng.aggregateEdge(0, results, true)
+		})
+		if allocs != 0 {
+			t.Fatalf("mode %v: aggregateEdge allocates %v objects per call in steady state", mode, allocs)
+		}
+	}
+}
+
+// TestAggregatePlainZeroTotalFallsBackToMean covers the total == 0 guard:
+// participants that all report empty datasets must produce a plain mean, not
+// a division by zero.
+func TestAggregatePlainZeroTotalFallsBackToMean(t *testing.T) {
+	parts, test, sched := tinySetup(t, 8, 2, 5, 3)
+	eng, err := New(tinyConfig(5, 3), tinyArch, parts, test, sched, sampling.NewUniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := len(eng.global)
+	a, b := make([]float64, p), make([]float64, p)
+	for j := range a {
+		a[j], b[j] = 1, 3
+	}
+	eng.aggregateEdge(0, []localResult{
+		{params: a, weight: 1, size: 0},
+		{params: b, weight: 1, size: 0},
+	}, false)
+	for j, v := range eng.edge[0] {
+		if math.IsNaN(v) {
+			t.Fatal("zero-size aggregation produced NaN")
+		}
+		if v != 2 {
+			t.Fatalf("edge[0][%d] = %v, want plain mean 2", j, v)
+		}
+	}
+}
+
+// TestEvaluateSurfacesModelMismatch covers the error-propagation fix: a
+// global vector that no longer fits the architecture must fail loudly from
+// every evaluation entry point instead of reporting zeros.
+func TestEvaluateSurfacesModelMismatch(t *testing.T) {
+	parts, test, sched := tinySetup(t, 8, 2, 5, 3)
+	eng, err := New(tinyConfig(5, 3), tinyArch, parts, test, sched, sampling.NewUniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.global = eng.global[:len(eng.global)-1]
+	if _, _, err := eng.evaluate(0); err == nil {
+		t.Fatal("evaluate accepted a truncated global vector")
+	}
+	if _, err := eng.EvaluateConfusion(); err == nil {
+		t.Fatal("EvaluateConfusion accepted a truncated global vector")
+	}
+}
+
+// TestProbeGradNormPanicsWithContext covers the probe-side fix: the strategy
+// callback has no error channel, so a wiring bug must panic with enough
+// context to locate it, not score the device as zero.
+func TestProbeGradNormPanicsWithContext(t *testing.T) {
+	parts, test, sched := tinySetup(t, 8, 2, 5, 3)
+	eng, err := New(tinyConfig(5, 3), tinyArch, parts, test, sched, sampling.NewUniform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.edge[0] = eng.edge[0][:len(eng.edge[0])-1]
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("probeGradNorm returned instead of panicking on a truncated edge model")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "probe gradient of device") {
+			t.Fatalf("panic lacks context: %v", r)
+		}
+	}()
+	eng.probeGradNorm(eng.probeNet, nil, 0, 0, 0)
+}

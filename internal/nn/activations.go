@@ -10,6 +10,9 @@ import (
 type ReLU struct {
 	name string
 	mask []bool // true where input > 0 on the last training forward
+
+	fwdOut *tensor.Tensor // reusable output buffer; see ensureTensor
+	bwdOut *tensor.Tensor
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -25,7 +28,9 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	r.fwdOut = ensureTensor(r.fwdOut, x.Shape()...)
+	out := r.fwdOut
+	copy(out.Data(), x.Data())
 	if train {
 		if cap(r.mask) < out.Len() {
 			r.mask = make([]bool, out.Len())
@@ -50,7 +55,9 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if len(r.mask) != grad.Len() {
 		panic("nn: ReLU.Backward called before Forward(train=true)")
 	}
-	out := grad.Clone()
+	r.bwdOut = ensureTensor(r.bwdOut, grad.Shape()...)
+	out := r.bwdOut
+	copy(out.Data(), grad.Data())
 	data := out.Data()
 	for i := range data {
 		if !r.mask[i] {
@@ -66,6 +73,9 @@ func (r *ReLU) clone() Layer { return &ReLU{name: r.name} }
 type Flatten struct {
 	name      string
 	lastShape []int
+
+	fwdView *tensor.Tensor // cached reshape headers; see reshapeCached
+	bwdView *tensor.Tensor
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -88,7 +98,12 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		f.lastShape = append(f.lastShape[:0], x.Shape()...)
 	}
 	batch := x.Dim(0)
-	return x.Reshape(batch, x.Len()/batch)
+	cols := x.Len() / batch
+	if x.Rank() == 2 && x.Dim(1) == cols {
+		return x // already flat; layers never mutate their inputs
+	}
+	f.fwdView = reshape2Cached(f.fwdView, x, batch, cols)
+	return f.fwdView
 }
 
 // Backward implements Layer.
@@ -96,7 +111,11 @@ func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if len(f.lastShape) == 0 {
 		panic("nn: Flatten.Backward called before Forward(train=true)")
 	}
-	return grad.Reshape(f.lastShape...)
+	if shapeEqual(grad.Shape(), f.lastShape) {
+		return grad
+	}
+	f.bwdView = reshapeCached(f.bwdView, grad, f.lastShape)
+	return f.bwdView
 }
 
 func (f *Flatten) clone() Layer { return &Flatten{name: f.name} }
@@ -107,6 +126,9 @@ type MaxPool2 struct {
 	name    string
 	argmax  []int // flat input index of each output element
 	inShape []int
+
+	fwdOut *tensor.Tensor // reusable output buffer; see ensureTensor
+	bwdOut *tensor.Tensor
 }
 
 var _ Layer = (*MaxPool2)(nil)
@@ -130,7 +152,8 @@ func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s requires even H and W, got %dx%d", p.name, h, w))
 	}
 	oh, ow := h/2, w/2
-	out := tensor.New(b, c, oh, ow)
+	p.fwdOut = ensure4(p.fwdOut, b, c, oh, ow)
+	out := p.fwdOut
 	if train {
 		if cap(p.argmax) < out.Len() {
 			p.argmax = make([]int, out.Len())
@@ -172,7 +195,9 @@ func (p *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if len(p.inShape) == 0 || len(p.argmax) != grad.Len() {
 		panic("nn: MaxPool2.Backward called before Forward(train=true)")
 	}
-	dx := tensor.New(p.inShape...)
+	p.bwdOut = ensureTensor(p.bwdOut, p.inShape...)
+	dx := p.bwdOut
+	dx.Zero() // scatter-add below needs a clean buffer
 	dd := dx.Data()
 	for i, v := range grad.Data() {
 		dd[p.argmax[i]] += v

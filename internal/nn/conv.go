@@ -19,6 +19,16 @@ type Conv2D struct {
 	b    *Param // [outC]
 
 	lastCols []*tensor.Tensor // cached per-image column matrices
+
+	// Reusable buffers; see ensureTensor. In steady state (fixed batch
+	// size) Forward/Backward allocate nothing beyond small tensor headers.
+	fwdOut       *tensor.Tensor // [B, outC, outH, outW]
+	colScratch   *tensor.Tensor // eval-path column matrix, [InC·K·K, n]
+	resScratch   *tensor.Tensor // per-image product, [outC, n]
+	dwScratch    *tensor.Tensor // [outC, InC·K·K]
+	dcolsScratch *tensor.Tensor // [InC·K·K, n]
+	dimgScratch  *tensor.Tensor // [InC, InH, InW]
+	bwdOut       *tensor.Tensor // [B, InC, InH, InW]
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -59,19 +69,32 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch := x.Dim(0)
 	outH, outW := g.OutH(), g.OutW()
 	n := outH * outW
-	out := tensor.New(batch, c.outC, outH, outW)
+	c.fwdOut = ensure4(c.fwdOut, batch, c.outC, outH, outW)
+	out := c.fwdOut
+	colRows := g.InC * g.K * g.K
 	if train {
-		c.lastCols = make([]*tensor.Tensor, batch)
+		if len(c.lastCols) != batch {
+			c.lastCols = make([]*tensor.Tensor, batch)
+		}
 	}
+	c.resScratch = ensure2(c.resScratch, c.outC, n)
+	res := c.resScratch
 	imgLen := g.InC * g.InH * g.InW
 	bdata := c.b.Value.Data()
 	for i := 0; i < batch; i++ {
 		img := tensor.FromSlice(x.Data()[i*imgLen:(i+1)*imgLen], g.InC, g.InH, g.InW)
-		cols := tensor.Im2Col(img, g)
+		var cols *tensor.Tensor
 		if train {
-			c.lastCols[i] = cols
+			// Backward needs every image's columns, so each batch slot
+			// keeps its own buffer.
+			c.lastCols[i] = ensure2(c.lastCols[i], colRows, n)
+			cols = c.lastCols[i]
+		} else {
+			c.colScratch = ensure2(c.colScratch, colRows, n)
+			cols = c.colScratch
 		}
-		res := tensor.MatMul(c.w.Value, cols) // [outC, n]
+		tensor.Im2ColInto(cols, img, g)
+		tensor.MatMulInto(res, c.w.Value, cols) // [outC, n]
 		dst := out.Data()[i*c.outC*n : (i+1)*c.outC*n]
 		copy(dst, res.Data())
 		for oc := 0; oc < c.outC; oc++ {
@@ -95,13 +118,17 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	outH, outW := g.OutH(), g.OutW()
 	n := outH * outW
 	imgLen := g.InC * g.InH * g.InW
-	dx := tensor.New(batch, g.InC, g.InH, g.InW)
+	c.bwdOut = ensure4(c.bwdOut, batch, g.InC, g.InH, g.InW)
+	dx := c.bwdOut
+	c.dwScratch = ensure2(c.dwScratch, c.outC, g.InC*g.K*g.K)
+	c.dcolsScratch = ensure2(c.dcolsScratch, g.InC*g.K*g.K, n)
+	c.dimgScratch = ensure3(c.dimgScratch, g.InC, g.InH, g.InW)
 	bgrad := c.b.Grad.Data()
 	for i := 0; i < batch; i++ {
 		gmat := tensor.FromSlice(grad.Data()[i*c.outC*n:(i+1)*c.outC*n], c.outC, n)
 		// dW += gmat·colsᵀ
-		dw := tensor.MatMulTransB(gmat, c.lastCols[i])
-		c.w.Grad.AddInPlace(dw)
+		tensor.MatMulTransBInto(c.dwScratch, gmat, c.lastCols[i])
+		c.w.Grad.AddInPlace(c.dwScratch)
 		// db += row sums of gmat
 		for oc := 0; oc < c.outC; oc++ {
 			row := gmat.Data()[oc*n : (oc+1)*n]
@@ -112,9 +139,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			bgrad[oc] += s
 		}
 		// dX = col2im(Wᵀ·gmat)
-		dcols := tensor.MatMulTransA(c.w.Value, gmat)
-		dimg := tensor.Col2Im(dcols, g)
-		copy(dx.Data()[i*imgLen:(i+1)*imgLen], dimg.Data())
+		tensor.MatMulTransAInto(c.dcolsScratch, c.w.Value, gmat)
+		tensor.Col2ImInto(c.dimgScratch, c.dcolsScratch, g)
+		copy(dx.Data()[i*imgLen:(i+1)*imgLen], c.dimgScratch.Data())
 	}
 	return dx
 }

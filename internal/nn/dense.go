@@ -18,6 +18,12 @@ type Dense struct {
 	b    *Param
 
 	lastX *tensor.Tensor // cached input for Backward
+
+	// Reusable buffers; see ensureTensor. In steady state (fixed batch
+	// size) Forward/Backward allocate nothing.
+	fwdOut    *tensor.Tensor // [B, out]
+	dwScratch *tensor.Tensor // [out, in]
+	bwdOut    *tensor.Tensor // [B, in]
 }
 
 var _ Layer = (*Dense)(nil)
@@ -49,8 +55,10 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		d.lastX = x
 	}
-	out := tensor.MatMulTransB(x, d.w.Value) // [B, out]
 	batch := x.Dim(0)
+	d.fwdOut = ensure2(d.fwdOut, batch, d.out)
+	out := d.fwdOut
+	tensor.MatMulTransBInto(out, x, d.w.Value) // [B, out]
 	bdata := d.b.Value.Data()
 	odata := out.Data()
 	for i := 0; i < batch; i++ {
@@ -68,8 +76,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Dense.Backward called before Forward(train=true)")
 	}
 	// dW = gradᵀ·x, accumulated.
-	dw := tensor.MatMulTransA(grad, d.lastX)
-	d.w.Grad.AddInPlace(dw)
+	d.dwScratch = ensure2(d.dwScratch, d.out, d.in)
+	tensor.MatMulTransAInto(d.dwScratch, grad, d.lastX)
+	d.w.Grad.AddInPlace(d.dwScratch)
 	// db = column sums of grad.
 	batch := grad.Dim(0)
 	gdata := grad.Data()
@@ -81,7 +90,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dX = grad·W.
-	return tensor.MatMul(grad, d.w.Value)
+	d.bwdOut = ensure2(d.bwdOut, batch, d.in)
+	tensor.MatMulInto(d.bwdOut, grad, d.w.Value)
+	return d.bwdOut
 }
 
 func (d *Dense) clone() Layer {

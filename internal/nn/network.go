@@ -14,6 +14,9 @@ import (
 type Network struct {
 	name   string
 	layers []Layer
+
+	params   []*Param       // cached Params() result (layer stacks are immutable)
+	lossGrad *tensor.Tensor // reusable loss-gradient scratch for TrainStep
 }
 
 // NewNetwork assembles a network from layers.
@@ -44,13 +47,17 @@ func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. The slice is
+// cached — the layer stack never changes after construction — so the
+// per-step Param walks (ZeroGrad, optimizer steps, norm reductions) stop
+// allocating.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
 // ZeroGrad clears all accumulated parameter gradients.
@@ -76,6 +83,19 @@ func (n *Network) ParamVector() []float64 {
 		out = append(out, p.Value.Data()...)
 	}
 	return out
+}
+
+// ParamVectorInto appends the flat parameter vector to dst[:0] and returns
+// the resulting slice, reusing dst's capacity when possible. Callers that
+// hold one buffer per device avoid re-allocating an upload vector every
+// round; the returned slice is only valid until the next call with the same
+// buffer.
+func (n *Network) ParamVectorInto(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, p := range n.Params() {
+		dst = append(dst, p.Value.Data()...)
+	}
+	return dst
 }
 
 // SetParamVector loads a flat vector produced by ParamVector (on this or a
@@ -129,8 +149,9 @@ func (n *Network) Clone() *Network {
 func (n *Network) TrainStep(x *tensor.Tensor, labels []int, opt Optimizer) (loss, gradSqNorm float64) {
 	n.ZeroGrad()
 	logits := n.Forward(x, true)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
-	n.Backward(grad)
+	n.lossGrad = ensure2(n.lossGrad, logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxCrossEntropyInto(logits, labels, n.lossGrad)
+	n.Backward(n.lossGrad)
 	gradSqNorm = n.GradSquaredNorm()
 	opt.Step(n.Params())
 	return loss, gradSqNorm
@@ -139,16 +160,34 @@ func (n *Network) TrainStep(x *tensor.Tensor, labels []int, opt Optimizer) (loss
 // Evaluate returns classification accuracy and mean loss of the network on
 // inputs x with integer labels, without touching cached training state.
 func (n *Network) Evaluate(x *tensor.Tensor, labels []int) (accuracy, loss float64) {
+	correct, lossSum := n.EvaluateSums(x, labels)
+	// Mean via multiplication by 1/B to keep the value bit-identical to the
+	// historical SoftmaxCrossEntropy mean (which scaled by invB).
+	return float64(correct) / float64(len(labels)), lossSum * (1.0 / float64(len(labels)))
+}
+
+// EvaluateSums returns the raw correct-prediction count and summed
+// cross-entropy loss for a batch, without materializing a loss gradient or
+// prediction slice. Shard-based evaluation reduces these pairs exactly
+// (integer count; loss sums combined in shard order).
+func (n *Network) EvaluateSums(x *tensor.Tensor, labels []int) (correct int, lossSum float64) {
 	logits := n.Forward(x, false)
-	l, _ := SoftmaxCrossEntropy(logits, labels)
-	pred := Argmax(logits)
-	correct := 0
-	for i, p := range pred {
-		if p == labels[i] {
+	lossSum = CrossEntropyLossSum(logits, labels)
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	ld := logits.Data()
+	for i := 0; i < batch; i++ {
+		row := ld[i*classes : (i+1)*classes]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[i] {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(labels)), l
+	return correct, lossSum
 }
 
 const paramMagic = uint32(0x4d414348) // "MACH"

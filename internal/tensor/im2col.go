@@ -35,13 +35,26 @@ func (g ConvGeom) Validate() error {
 // W (outC × InC*K*K) · cols. Out-of-bounds (padding) positions contribute
 // zeros.
 func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	out := New(g.InC*g.K*g.K, g.OutH()*g.OutW())
+	Im2ColInto(out, x, g)
+	return out
+}
+
+// Im2ColInto lowers x into dst, reusing dst's storage. dst must have shape
+// [InC*K*K, OutH*OutW]; it is fully overwritten (padding positions with
+// zeros), so a dirty scratch tensor may be passed.
+func Im2ColInto(dst, x *Tensor, g ConvGeom) {
 	if x.Rank() != 3 || x.shape[0] != g.InC || x.shape[1] != g.InH || x.shape[2] != g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", x.shape, g))
 	}
 	outH, outW := g.OutH(), g.OutW()
 	rows := g.InC * g.K * g.K
 	cols := outH * outW
-	out := New(rows, cols)
+	if dst.Rank() != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst %v does not match geometry %+v", dst.shape, g))
+	}
+	out := dst
+	out.Zero()
 	for c := 0; c < g.InC; c++ {
 		chOff := c * g.InH * g.InW
 		for ky := 0; ky < g.K; ky++ {
@@ -65,20 +78,31 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters a [InC*K*K, OutH*OutW] matrix
 // of column gradients back into an image gradient of shape [InC, InH, InW],
 // accumulating where patches overlap.
 func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	img := New(g.InC, g.InH, g.InW)
+	Col2ImInto(img, cols, g)
+	return img
+}
+
+// Col2ImInto scatters cols into img, reusing img's storage. img must have
+// shape [InC, InH, InW]; it is zeroed before accumulation, so a dirty
+// scratch tensor may be passed.
+func Col2ImInto(img, cols *Tensor, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	rows := g.InC * g.K * g.K
 	n := outH * outW
 	if cols.Rank() != 2 || cols.shape[0] != rows || cols.shape[1] != n {
 		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v", cols.shape, g))
 	}
-	img := New(g.InC, g.InH, g.InW)
+	if img.Rank() != 3 || img.shape[0] != g.InC || img.shape[1] != g.InH || img.shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Col2ImInto dst %v does not match geometry %+v", img.shape, g))
+	}
+	img.Zero()
 	for c := 0; c < g.InC; c++ {
 		chOff := c * g.InH * g.InW
 		for ky := 0; ky < g.K; ky++ {
@@ -102,5 +126,4 @@ func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return img
 }

@@ -1,11 +1,38 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Kernel blocking parameters. Blocks are chosen so one block of b
+// (mmBlockK × n doubles for moderate n) and the active rows of dst stay
+// resident in L1/L2 while the i loop sweeps over them. Blocking reorders
+// only the *traversal* of (i, p) pairs, never the per-element accumulation
+// order: for every output element dst[i,j] the partial products are still
+// added in ascending p, so blocked results are bit-identical to the naive
+// i-k-j kernel.
+const (
+	mmBlockI = 64  // rows of dst per block
+	mmBlockK = 256 // inner-dimension slice per block
+
+	// mmParallelFlops is the m·k·n threshold above which the row-parallel
+	// path engages. Training-step matmuls in the simulator are far below
+	// it, so worker-pool tasks never nest goroutines; only large
+	// evaluation or standalone products fan out.
+	mmParallelFlops = 1 << 21
+
+	// mmMinRowsPerTask keeps per-goroutine work coarse enough to amortize
+	// scheduling.
+	mmMinRowsPerTask = 32
+)
 
 // MatMul returns the matrix product a·b for 2-D tensors a (m×k) and b (k×n).
-// The inner loops are ordered i-k-j so the innermost loop streams through
-// contiguous rows of b, which is the standard cache-friendly layout for
-// row-major storage.
+// The kernel is cache-blocked over rows of dst and slices of the inner
+// dimension, and partitions by output rows across goroutines for large
+// products; both transformations preserve the per-element accumulation
+// order, so the result is bit-identical for any block size or parallelism.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.shape, b.shape))
@@ -16,7 +43,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions disagree: %v × %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matMulInto(out.data, a.data, b.data, m, k, n)
+	matMulDispatch(out.data, a.data, b.data, m, k, n)
 	return out
 }
 
@@ -28,21 +55,47 @@ func MatMulInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
 	dst.Zero()
-	matMulInto(dst.data, a.data, b.data, m, k, n)
+	matMulDispatch(dst.data, a.data, b.data, m, k, n)
 }
 
-func matMulInto(dst, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		drow := dst[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+// matMulDispatch routes to the serial or row-parallel blocked kernel.
+// dst must be zeroed. The serial path is taken without materializing a
+// closure so the training hot path stays allocation-free.
+func matMulDispatch(dst, a, b []float64, m, k, n int) {
+	if !shouldRowParallel(m, m*k*n) {
+		matMulBlocked(dst, a, b, 0, m, k, n)
+		return
+	}
+	rowParallel(m, func(i0, i1 int) {
+		matMulBlocked(dst, a, b, i0, i1, k, n)
+	})
+}
+
+// matMulBlocked accumulates dst rows [i0, i1) of a·b with i/k blocking.
+func matMulBlocked(dst, a, b []float64, i0, i1, k, n int) {
+	for ib := i0; ib < i1; ib += mmBlockI {
+		ie := ib + mmBlockI
+		if ie > i1 {
+			ie = i1
+		}
+		for pb := 0; pb < k; pb += mmBlockK {
+			pe := pb + mmBlockK
+			if pe > k {
+				pe = k
 			}
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for i := ib; i < ie; i++ {
+				arow := a[i*k : (i+1)*k]
+				drow := dst[i*n : (i+1)*n]
+				for p := pb; p < pe; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n : (p+1)*n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
 			}
 		}
 	}
@@ -51,49 +104,105 @@ func matMulInto(dst, a, b []float64, m, k, n int) {
 // MatMulTransA returns aᵀ·b for a (k×m) and b (k×n), producing m×n. This is
 // the backward-pass form used when computing weight gradients.
 func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := transAShape(a, b)
+	out := New(m, n)
+	matMulTransAInto(out.data, a.data, b.data, k, m, n)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ·b, reusing dst's storage. dst must be
+// m×n for a (k×m) and b (k×n).
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m, n := transAShape(a, b)
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	dst.Zero()
+	matMulTransAInto(dst.data, a.data, b.data, k, m, n)
+}
+
+func transAShape(a, b *Tensor) (k, m, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D operands, got %v and %v", a.shape, b.shape))
 	}
-	k, m := a.shape[0], a.shape[1]
+	k, m = a.shape[0], a.shape[1]
 	if b.shape[0] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions disagree: %vᵀ × %v", a.shape, b.shape))
 	}
-	n := b.shape[1]
-	out := New(m, n)
+	return k, m, b.shape[1]
+}
+
+// matMulTransAInto accumulates dst += aᵀ·b with the p-i-j loop order of the
+// reference kernel. Row-parallelism would split the p loop, which *is* the
+// accumulation order, so the transposed-A form stays serial; it is only used
+// on small backward-pass weight gradients.
+func matMulTransAInto(dst, a, b []float64, k, m, n int) {
 	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			drow := out.data[i*n : (i+1)*n]
+			drow := dst[i*n : (i+1)*n]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulTransB returns a·bᵀ for a (m×k) and b (n×k), producing m×n. This is
 // the backward-pass form used when propagating gradients through a dense
 // layer.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := transBShape(a, b)
+	out := New(m, n)
+	matMulTransBDispatch(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulTransBInto computes dst = a·bᵀ, reusing dst's storage. dst must be
+// m×n for a (m×k) and b (n×k).
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k, n := transBShape(a, b)
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	matMulTransBDispatch(dst.data, a.data, b.data, m, k, n)
+}
+
+func transBShape(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D operands, got %v and %v", a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
+	m, k = a.shape[0], a.shape[1]
 	if b.shape[1] != k {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions disagree: %v × %vᵀ", a.shape, b.shape))
 	}
-	n := b.shape[0]
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		drow := out.data[i*n : (i+1)*n]
+	return m, k, b.shape[0]
+}
+
+func matMulTransBDispatch(dst, a, b []float64, m, k, n int) {
+	if !shouldRowParallel(m, m*k*n) {
+		matMulTransBRows(dst, a, b, 0, m, k, n)
+		return
+	}
+	rowParallel(m, func(i0, i1 int) {
+		matMulTransBRows(dst, a, b, i0, i1, k, n)
+	})
+}
+
+// matMulTransBRows writes dst rows [i0, i1) of a·bᵀ. Every element is an
+// independent dot product accumulated in ascending p, so row partitioning
+// and j-blocking cannot change results. Each element is written exactly
+// once, so dst needs no zeroing.
+func matMulTransBRows(dst, a, b []float64, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for p, av := range arow {
 				s += av * brow[p]
@@ -101,7 +210,37 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			drow[j] = s
 		}
 	}
-	return out
+}
+
+// shouldRowParallel reports whether a product of m output rows and the given
+// flop count is worth fanning out across cores.
+func shouldRowParallel(m, flops int) bool {
+	return flops >= mmParallelFlops && runtime.GOMAXPROCS(0) > 1 && m >= 2*mmMinRowsPerTask
+}
+
+// rowParallel invokes fn over a partition of [0, m) into contiguous row
+// ranges, one goroutine per range. Row ranges touch disjoint slices of dst,
+// so the result is identical to the serial call fn(0, m) regardless of
+// scheduling.
+func rowParallel(m int, fn func(i0, i1 int)) {
+	tasks := runtime.GOMAXPROCS(0)
+	if max := m / mmMinRowsPerTask; tasks > max {
+		tasks = max
+	}
+	chunk := (m + tasks - 1) / tasks
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < m; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.

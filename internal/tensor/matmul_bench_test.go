@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refMatMulIKJ is the reference i-k-j kernel the blocked implementation must
+// reproduce bit-for-bit (identical per-element accumulation order).
+func refMatMulIKJ(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			av := a.data[i*k+p]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.data[i*n+j] += av * b.data[p*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// TestBlockedMatMulBitIdenticalToNaive covers shapes around every block
+// boundary so all partial-block paths run, plus sizes large enough to
+// trigger the row-parallel dispatch.
+func TestBlockedMatMulBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 2}, {8, 8, 8},
+		{mmBlockI - 1, mmBlockK - 1, 17},
+		{mmBlockI, mmBlockK, 16},
+		{mmBlockI + 1, mmBlockK + 1, 9},
+		{2*mmBlockI + 3, mmBlockK + 7, 33},
+		{160, 160, 160}, // above mmParallelFlops: exercises rowParallel
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := Randn(rng, 1, m, k)
+		b := Randn(rng, 1, k, n)
+		a.data[rng.Intn(len(a.data))] = 0 // exercise the zero-skip
+		want := refMatMulIKJ(a, b)
+		got := MatMul(a, b)
+		for i := range want.data {
+			if got.data[i] != want.data[i] {
+				t.Fatalf("%dx%dx%d: blocked result differs from naive at %d: %v vs %v",
+					m, k, n, i, got.data[i], want.data[i])
+			}
+		}
+		into := New(m, n)
+		into.Fill(3.14) // dirty scratch must be fully overwritten
+		MatMulInto(into, a, b)
+		for i := range want.data {
+			if into.data[i] != want.data[i] {
+				t.Fatalf("%dx%dx%d: MatMulInto differs from naive at %d", m, k, n, i)
+			}
+		}
+	}
+}
+
+func TestMatMulTransIntoMatchAllocatingForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, s := range [][3]int{{4, 6, 5}, {33, 65, 17}, {128, 64, 96}} {
+		m, k, n := s[0], s[1], s[2]
+
+		// aᵀ·b with a (k×m), b (k×n).
+		at := Randn(rng, 1, k, m)
+		b := Randn(rng, 1, k, n)
+		wantA := MatMulTransA(at, b)
+		gotA := New(m, n)
+		gotA.Fill(-1)
+		MatMulTransAInto(gotA, at, b)
+		for i := range wantA.data {
+			if gotA.data[i] != wantA.data[i] {
+				t.Fatalf("TransAInto %v differs at %d", s, i)
+			}
+		}
+
+		// a·bᵀ with a (m×k), b (n×k).
+		a := Randn(rng, 1, m, k)
+		bt := Randn(rng, 1, n, k)
+		wantB := MatMulTransB(a, bt)
+		gotB := New(m, n)
+		gotB.Fill(-1)
+		MatMulTransBInto(gotB, a, bt)
+		for i := range wantB.data {
+			if gotB.data[i] != wantB.data[i] {
+				t.Fatalf("TransBInto %v differs at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestMatMulIntoShapeMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"into":   func() { MatMulInto(New(2, 2), New(2, 3), New(3, 3)) },
+		"transA": func() { MatMulTransAInto(New(2, 2), New(3, 2), New(3, 3)) },
+		"transB": func() { MatMulTransBInto(New(2, 2), New(2, 3), New(3, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected shape-mismatch panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIm2ColColIntoReuseDirtyScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := ConvGeom{InC: 2, InH: 6, InW: 6, K: 3, Stride: 1, Pad: 1}
+	x := Randn(rng, 1, 2, 6, 6)
+	want := Im2Col(x, g)
+	dst := New(want.Dim(0), want.Dim(1))
+	dst.Fill(42)
+	Im2ColInto(dst, x, g)
+	for i := range want.data {
+		if dst.data[i] != want.data[i] {
+			t.Fatalf("Im2ColInto differs at %d", i)
+		}
+	}
+
+	wantImg := Col2Im(want, g)
+	img := New(2, 6, 6)
+	img.Fill(-7)
+	Col2ImInto(img, want, g)
+	for i := range wantImg.data {
+		if img.data[i] != wantImg.data[i] {
+			t.Fatalf("Col2ImInto differs at %d", i)
+		}
+	}
+}
+
+func benchmarkMatMulSize(b *testing.B, size int) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, size, size)
+	y := Randn(rng, 1, size, size)
+	dst := New(size, size)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * size * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchmarkMatMulSize(b, 64) }
+func BenchmarkMatMul128(b *testing.B) { benchmarkMatMulSize(b, 128) }
+func BenchmarkMatMul256(b *testing.B) { benchmarkMatMulSize(b, 256) }
+func BenchmarkMatMul512(b *testing.B) { benchmarkMatMulSize(b, 512) }
+
+func BenchmarkMatMulNaive128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 128, 128)
+	y := Randn(rng, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refMatMulIKJ(x, y)
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	for _, size := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := Randn(rng, 1, size, size)
+			y := Randn(rng, 1, size, size)
+			dst := New(size, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulTransBInto(dst, x, y)
+			}
+		})
+	}
+}

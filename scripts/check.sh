@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# check.sh — the repo's tier-1+ gate: vet, build, full test suite, and the
+# race detector over the concurrent packages (the worker-pool engine and the
+# row-parallel matmul). Run via `make check` or directly. Every PR must pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== go test -race -short (parallel engine determinism)"
+go test -race -short -run 'TestRunBitIdenticalAcrossWorkerCounts' ./internal/hfl
+
+echo "check: OK"
