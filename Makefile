@@ -1,7 +1,12 @@
-# Tier-1+ gate: vet + build + full tests + race detector on the concurrent
-# packages. CI and every PR run this.
+# Tier-1+ gate: vet + build + machlint + full tests + race detector on the
+# concurrent packages. CI and every PR run this.
 check:
 	./scripts/check.sh
+
+# Custom stdlib-only static analysis (see DESIGN.md §5.5). Exits nonzero on
+# any finding; waive individual lines with a justified //machlint:allow.
+lint:
+	go run ./cmd/machlint ./...
 
 test:
 	go test ./...
@@ -16,4 +21,4 @@ bench-engine:
 bench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check test race bench bench-engine
+.PHONY: check lint test race bench bench-engine

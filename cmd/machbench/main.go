@@ -139,6 +139,7 @@ func run() error {
 		if *alpha > 0 {
 			cfg.MACH.Alpha = *alpha
 		}
+		//machlint:allow floateq flag sentinel: exact zero means "not set on the command line"
 		if *beta != 0 {
 			cfg.MACH.Beta = *beta
 		}

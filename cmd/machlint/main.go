@@ -1,0 +1,18 @@
+// Command machlint runs the repo's custom static-analysis suite
+// (internal/lint) over the given package patterns and exits nonzero on
+// findings. It is wired into `make lint` and scripts/check.sh; run it from
+// the module root so package-scoped configuration paths resolve.
+//
+//	machlint ./...
+//	machlint -checks maprange,floateq ./internal/...
+package main
+
+import (
+	"os"
+
+	"github.com/mach-fl/mach/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(".", os.Args[1:], os.Stdout, os.Stderr))
+}

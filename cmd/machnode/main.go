@@ -133,7 +133,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer cloud.Close()
+		defer cloud.Close() //machlint:allow errdrop best-effort teardown at process exit; run errors already surfaced
 		hist, err := cloud.Run()
 		if err != nil {
 			return err

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,6 +24,23 @@ import (
 	"github.com/mach-fl/mach/internal/hfl"
 	"github.com/mach-fl/mach/internal/mobility"
 )
+
+// writeCSVTo streams write into the file at path ("" means stdout). The
+// close error is part of the write: a failed flush must not report success.
+func writeCSVTo(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("close %s: %w", path, cerr)
+	}
+	return err
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -106,16 +124,7 @@ func run() error {
 		return err
 	}
 
-	out := os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return fmt.Errorf("create output: %w", err)
-		}
-		defer f.Close()
-		out = f
-	}
-	if err := res.History.WriteCSV(out); err != nil {
+	if err := writeCSVTo(*outPath, res.History.WriteCSV); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
@@ -148,7 +157,7 @@ func scheduleFromTrace(tracePath, coordsPath string, edges, devices, steps int, 
 	if err != nil {
 		return nil, fmt.Errorf("open trace: %w", err)
 	}
-	defer tf.Close()
+	defer tf.Close() //machlint:allow errdrop read-only file; a close failure cannot corrupt anything
 	trace, err := mobility.ReadCSV(tf)
 	if err != nil {
 		return nil, err
@@ -157,7 +166,7 @@ func scheduleFromTrace(tracePath, coordsPath string, edges, devices, steps int, 
 	if err != nil {
 		return nil, fmt.Errorf("open coords: %w", err)
 	}
-	defer cf.Close()
+	defer cf.Close() //machlint:allow errdrop read-only file; a close failure cannot corrupt anything
 	stations, err := mobility.ReadStationsCSV(cf)
 	if err != nil {
 		return nil, err

@@ -14,12 +14,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
 
 	"github.com/mach-fl/mach/internal/mobility"
 )
+
+// writeCSVTo streams write into the file at path ("" means stdout). The
+// close error is part of the write: a failed flush must not report success.
+func writeCSVTo(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("close %s: %w", path, cerr)
+	}
+	return err
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -76,34 +94,26 @@ func run() error {
 		return err
 	}
 
-	out := os.Stdout
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return fmt.Errorf("create trace file: %w", err)
-		}
-		defer f.Close()
-		out = f
-	}
-	if err := trace.WriteCSV(out); err != nil {
-		return err
+	if err := writeCSVTo(*traceOut, trace.WriteCSV); err != nil {
+		return fmt.Errorf("write trace: %w", err)
 	}
 	if *coordsOut != "" {
-		f, err := os.Create(*coordsOut)
-		if err != nil {
-			return fmt.Errorf("create coords file: %w", err)
-		}
-		defer f.Close()
-		if _, err := f.WriteString("station,x,y\n"); err != nil {
-			return err
-		}
-		for _, s := range stations {
-			line := strconv.Itoa(s.ID) + "," +
-				strconv.FormatFloat(s.X, 'f', 4, 64) + "," +
-				strconv.FormatFloat(s.Y, 'f', 4, 64) + "\n"
-			if _, err := f.WriteString(line); err != nil {
+		err := writeCSVTo(*coordsOut, func(w io.Writer) error {
+			if _, err := io.WriteString(w, "station,x,y\n"); err != nil {
 				return err
 			}
+			for _, s := range stations {
+				line := strconv.Itoa(s.ID) + "," +
+					strconv.FormatFloat(s.X, 'f', 4, 64) + "," +
+					strconv.FormatFloat(s.Y, 'f', 4, 64) + "\n"
+				if _, err := io.WriteString(w, line); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("write coords: %w", err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: %s\n", mobility.ComputeStats(trace))

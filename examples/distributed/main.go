@@ -49,7 +49,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		defer srv.Close() //machlint:allow errdrop best-effort teardown of a demo at process exit
 		addr, err := srv.Serve("127.0.0.1:0")
 		if err != nil {
 			return err
@@ -77,7 +77,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer e.Close()
+		defer e.Close() //machlint:allow errdrop best-effort teardown of a demo at process exit
 		addr, err := e.Serve("127.0.0.1:0")
 		if err != nil {
 			return err
@@ -97,7 +97,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer cloud.Close()
+	defer cloud.Close() //machlint:allow errdrop best-effort teardown of a demo at process exit
 
 	fmt.Printf("cloud: training %d steps over %d edges, %d devices…\n",
 		cfg.Steps, cfg.Edges, cfg.Devices)

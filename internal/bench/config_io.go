@@ -18,14 +18,18 @@ func (c Config) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// SaveConfig writes the config to a file.
+// SaveConfig writes the config to a file. The close error is part of the
+// write: a failed flush must not report success.
 func SaveConfig(c Config, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("bench: create config file: %w", err)
 	}
-	defer f.Close()
-	return c.WriteJSON(f)
+	err = c.WriteJSON(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("bench: close config file: %w", cerr)
+	}
+	return err
 }
 
 // ReadConfig parses a config written by WriteJSON, layered on top of the
@@ -50,6 +54,6 @@ func LoadConfig(path string, base Config) (Config, error) {
 	if err != nil {
 		return Config{}, fmt.Errorf("bench: open config file: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //machlint:allow errdrop read-only file; a close failure cannot corrupt anything
 	return ReadConfig(f, base)
 }

@@ -3,8 +3,9 @@ package bench
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
+
+	"github.com/mach-fl/mach/internal/det"
 )
 
 // RenderFig3 writes the accuracy-vs-step series of one Figure 3 subplot as
@@ -28,12 +29,7 @@ func RenderFig3(w io.Writer, r *Fig3Result) error {
 			steps[p.Step] = true
 		}
 	}
-	ordered := make([]int, 0, len(steps))
-	for s := range steps {
-		ordered = append(ordered, s)
-	}
-	sort.Ints(ordered)
-	for _, s := range ordered {
+	for _, s := range det.SortedKeys(steps) {
 		fmt.Fprintf(w, "%8d", s)
 		for _, res := range r.Comparison.Results {
 			val := ""

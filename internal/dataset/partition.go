@@ -184,6 +184,7 @@ func dirichlet(rng *rand.Rand, k int, alpha float64) []float64 {
 		out[i] = gammaSample(rng, alpha)
 		total += out[i]
 	}
+	//machlint:allow floateq degenerate-draw guard; only an exact all-zero sample needs the uniform fallback
 	if total == 0 {
 		for i := range out {
 			out[i] = 1 / float64(k)
@@ -201,6 +202,7 @@ func gammaSample(rng *rand.Rand, shape float64) float64 {
 	if shape < 1 {
 		// Boost: Gamma(a) = Gamma(a+1)·U^(1/a).
 		u := rng.Float64()
+		//machlint:allow floateq rejection sampling: only the exact zero makes math.Log diverge
 		for u == 0 {
 			u = rng.Float64()
 		}
@@ -252,6 +254,7 @@ func MixDistributions(dists [][]float64, weights []float64) []float64 {
 	for _, w := range weights {
 		total += w
 	}
+	//machlint:allow floateq all-zero weights is the exact degenerate case; any tolerance would misread tiny real weights
 	if total == 0 {
 		return out
 	}

@@ -1,0 +1,25 @@
+// Package det holds tiny helpers for writing deterministic code over Go's
+// intentionally order-randomized maps. It exists so that the one unordered
+// map walk the codebase needs — collecting keys to sort them — lives in a
+// single audited place instead of being re-spelled (and re-reviewed)
+// wherever machlint's maprange check fires.
+package det
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns the keys of m in ascending order. Iterating
+// `for _, k := range det.SortedKeys(m)` is the canonical remediation for a
+// maprange finding: the walk below is order-blind because sorting erases
+// the randomized iteration order before any caller observes it.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//machlint:allow maprange keys are sorted before being returned; this helper is the remediation maprange prescribes
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

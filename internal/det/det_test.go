@@ -1,0 +1,23 @@
+package det
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"edge2": 2, "edge0": 0, "edge1": 1}
+	want := []string{"edge0", "edge1", "edge2"}
+	for i := 0; i < 10; i++ { // map order is randomized per iteration attempt
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[int]string{}); len(got) != 0 {
+		t.Fatalf("SortedKeys on empty map = %v, want empty", got)
+	}
+	ints := map[int]bool{3: true, -1: true, 2: true}
+	if got := SortedKeys(ints); !reflect.DeepEqual(got, []int{-1, 2, 3}) {
+		t.Fatalf("SortedKeys(int keys) = %v", got)
+	}
+}

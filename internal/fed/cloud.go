@@ -101,14 +101,20 @@ func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, schedule *mobility.Schedule, t
 	return c, nil
 }
 
-// Close drops all connections.
-func (c *Cloud) Close() {
+// Close drops all connections, reporting the first failure.
+func (c *Cloud) Close() error {
+	var firstErr error
 	for _, cl := range c.edges {
-		cl.Close()
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	for _, cl := range c.deviceHosts {
-		cl.Close()
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
 }
 
 // GlobalParams returns a copy of the current global model parameters.

@@ -79,18 +79,24 @@ func (e *EdgeServer) Serve(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and drops device-host connections.
+// Close stops the listener and drops device-host connections, reporting
+// the first failure.
 func (e *EdgeServer) Close() error {
+	var firstErr error
 	e.mu.Lock()
 	for _, c := range e.clients {
-		c.Close()
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	e.clients = map[string]*rpc.Client{}
 	e.mu.Unlock()
-	if e.listener == nil {
-		return nil
+	if e.listener != nil {
+		if err := e.listener.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return e.listener.Close()
+	return firstErr
 }
 
 // Ping implements the liveness RPC.
@@ -113,20 +119,22 @@ func (e *EdgeServer) client(addr string) (*rpc.Client, error) {
 	return c, nil
 }
 
-// groupByHost resolves each member to its host address and groups them, with
-// deterministic ordering.
+// groupByHost resolves each member to its host address and groups them.
+// Addresses are collected at insertion time and sorted, never by walking
+// the map, so per-group RPC dispatch and result ordering are stable
+// across runs.
 func (e *EdgeServer) groupByHost(members []int) (map[string][]int, []string, error) {
 	groups := map[string][]int{}
+	var addrs []string
 	for _, m := range members {
 		addr, err := e.resolver(m)
 		if err != nil {
 			return nil, nil, err
 		}
+		if _, ok := groups[addr]; !ok {
+			addrs = append(addrs, addr)
+		}
 		groups[addr] = append(groups[addr], m)
-	}
-	addrs := make([]string, 0, len(groups))
-	for a := range groups {
-		addrs = append(addrs, a)
 	}
 	sort.Strings(addrs)
 	return groups, addrs, nil

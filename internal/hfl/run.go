@@ -399,6 +399,7 @@ func (e *Engine) cloudAggregate(t int) {
 	}
 	for n, params := range e.edge {
 		w := float64(e.cloudCounts[n]) / float64(total)
+		//machlint:allow floateq zero weight is exact (0/total); skipping it avoids touching next with -0 terms
 		if w == 0 {
 			continue
 		}

@@ -2,9 +2,12 @@ package hfl
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
+	"github.com/mach-fl/mach/internal/mobility"
 	"github.com/mach-fl/mach/internal/sampling"
 )
 
@@ -82,6 +85,59 @@ func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestMobilityStatsDeterministic extends the determinism contract to the
+// mobility-statistics path the engine's scheduler is seeded from: ComputeStats
+// and EstimateTransitions accumulate floats over map-grouped records, so they
+// must be bit-identical across repeated calls AND across record orderings —
+// the grouping map must never leak its iteration order into the sums.
+func TestMobilityStatsDeterministic(t *testing.T) {
+	const devices, stations = 17, 5
+	trace := &mobility.Trace{}
+	rng := rand.New(rand.NewSource(7))
+	for d := 0; d < devices; d++ {
+		at := int64(0)
+		for hop := 0; hop < 6; hop++ {
+			dwell := int64(1 + rng.Intn(40))
+			trace.Records = append(trace.Records, mobility.Record{
+				Device:  d,
+				Station: rng.Intn(stations),
+				Start:   at,
+				End:     at + dwell,
+			})
+			at += dwell
+		}
+	}
+
+	refStats := mobility.ComputeStats(trace)
+	refTrans, err := mobility.EstimateTransitions(trace, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStationary := mobility.StationaryDistribution(refTrans, 50)
+
+	for trial := 0; trial < 5; trial++ {
+		// A fresh permutation of the records each trial: results must not
+		// depend on input order, only on content.
+		shuffled := &mobility.Trace{Records: append([]mobility.Record(nil), trace.Records...)}
+		rng.Shuffle(len(shuffled.Records), func(i, j int) {
+			shuffled.Records[i], shuffled.Records[j] = shuffled.Records[j], shuffled.Records[i]
+		})
+		if stats := mobility.ComputeStats(shuffled); !reflect.DeepEqual(stats, refStats) {
+			t.Fatalf("trial %d: ComputeStats depends on record order:\n got %+v\nwant %+v", trial, stats, refStats)
+		}
+		trans, err := mobility.EstimateTransitions(shuffled, stations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(trans, refTrans) {
+			t.Fatalf("trial %d: EstimateTransitions is not bit-identical across record orders", trial)
+		}
+		if st := mobility.StationaryDistribution(trans, 50); !reflect.DeepEqual(st, refStationary) {
+			t.Fatalf("trial %d: StationaryDistribution drifted: %v vs %v", trial, st, refStationary)
+		}
 	}
 }
 

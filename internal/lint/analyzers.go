@@ -1,0 +1,6 @@
+package lint
+
+// Analyzers returns the full machlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapRange, GlobalRand, FloatEq, ErrDrop, MutexCopy}
+}

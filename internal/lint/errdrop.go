@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags error return values that are dropped: calls used as bare
+// statements (including go/defer) whose results include an error, and
+// error results explicitly discarded into the blank identifier. A small
+// package-scoped allowlist (Rule.Allow, keyed by types.Func.FullName)
+// admits callees that are documented never to fail, like strings.Builder
+// writes. Everything else must handle the error or carry a justified
+// //machlint:allow errdrop.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "error return value ignored or discarded into _",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				p.checkIgnoredCall(n.X)
+			case *ast.GoStmt:
+				p.checkIgnoredCall(n.Call)
+			case *ast.DeferStmt:
+				p.checkIgnoredCall(n.Call)
+			case *ast.AssignStmt:
+				p.checkBlankedErrors(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkIgnoredCall reports a call used for effect only whose results
+// include an error.
+func (p *Pass) checkIgnoredCall(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || !callReturnsError(p, call) {
+		return
+	}
+	if name := calleeName(p, call); p.Rule.allows(name) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s returns an error that is ignored; handle it or justify with //machlint:allow errdrop", calleeName(p, call))
+}
+
+// checkBlankedErrors reports error results assigned to the blank
+// identifier, in both the multi-result form `v, _ := f()` and the direct
+// form `_ = f()`.
+func (p *Pass) checkBlankedErrors(as *ast.AssignStmt) {
+	// Multi-result call: one call expression fanned out over the LHS.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := p.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		if name := calleeName(p, call); p.Rule.allows(name) {
+			return
+		}
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) && isBlank(as.Lhs[i]) {
+				p.Reportf(as.Lhs[i].Pos(), "error result of %s discarded into _; handle it or justify with //machlint:allow errdrop", calleeName(p, call))
+			}
+		}
+		return
+	}
+	// One-to-one assignments: flag `_ = expr` where expr is an error.
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		rhs := ast.Unparen(as.Rhs[i])
+		if !isErrorType(p.TypeOf(rhs)) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && p.Rule.allows(calleeName(p, call)) {
+			continue
+		}
+		p.Reportf(lhs.Pos(), "error value discarded into _; handle it or justify with //machlint:allow errdrop")
+	}
+}
+
+// callReturnsError reports whether any result of the call is an error.
+// Conversions and builtins never are.
+func callReturnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// calleeName renders the callee for messages and allowlist matching:
+// types.Func.FullName when resolvable (e.g. "(*strings.Builder).WriteString"),
+// otherwise the source expression.
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(p, call); fn != nil {
+		return fn.FullName()
+	}
+	return types.ExprString(call.Fun)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

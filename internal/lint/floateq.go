@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands outside test
+// files. Exact float comparison is almost always a rounding-sensitive bug
+// in simulation code; the few legitimate uses (exact-zero sentinels,
+// sparsity fast paths) must carry a justified //machlint:allow floateq so
+// the intent is auditable. Tests are exempt by DefaultConfig: bit-identity
+// contracts compare floats exactly on purpose.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= comparison between float32/float64 operands",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.TypeOf(be.X)) || isFloat(p.TypeOf(be.Y)) {
+				p.Reportf(be.OpPos, "exact floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or justify with //machlint:allow floateq", be.Op)
+			}
+			return true
+		})
+	}
+}

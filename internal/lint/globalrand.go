@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the two ambient-state reads that silently break
+// reproducibility inside the simulation core: package-level math/rand
+// functions (they draw from a shared, unseeded source) and wall-clock
+// reads (time.Now / time.Since / time.Until). Randomness must flow through
+// a seeded *rand.Rand threaded from the config; wall time belongs to the
+// benchmark harness and the CLIs, which DefaultConfig exempts.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "global math/rand or wall-clock read inside the deterministic simulation core",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are the math/rand (and /v2) package-level functions
+// that build explicit, seedable state rather than drawing from the global
+// source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 sources
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.ObjectOf(pkgIdent).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			// Only package-level functions are hazards; type references
+			// (rand.Rand) and anything reached through a value (r.Intn)
+			// are fine.
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					p.Reportf(sel.Pos(), "%s.%s draws from the shared global source; thread a seeded *rand.Rand from the config instead", pkgIdent.Name, fn.Name())
+				}
+			case "time":
+				if clockFuncs[fn.Name()] {
+					p.Reportf(sel.Pos(), "wall-clock read %s.%s inside the simulation core breaks reproducibility; measure time in internal/bench or cmd instead", pkgIdent.Name, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

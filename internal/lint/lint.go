@@ -1,0 +1,246 @@
+// Package lint implements machlint, the repo's custom static-analysis
+// suite. It enforces the determinism, float-safety and error-handling
+// invariants that the runtime tests (DESIGN.md §5) can only spot-check:
+// no observable map-iteration order, no wall-clock or global-randomness
+// reads inside the simulation core, no exact float comparison, no dropped
+// errors, no by-value lock copies.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types, go/token), honoring the repo's stdlib-only rule. Analyzers are
+// pluggable (Analyzer), findings carry file:line:col positions
+// (Diagnostic), enablement is package-scoped (Config), and individual
+// findings can be waived in source with a justified suppression comment:
+//
+//	//machlint:allow <check>[,<check>...] <justification>
+//
+// placed either at the end of the offending line or on the line
+// immediately above it. A suppression without a justification is
+// deliberately inert: every waiver must say why.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: where, which check, and what is wrong.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the canonical "path:line:col: check: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one pluggable check. Run inspects the files of a Pass and
+// reports findings through it; the driver handles configuration scoping,
+// test-file exemption and suppression comments, so analyzers stay pure.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is one analyzer applied to one type-checked unit (a package,
+// possibly including its in-package test files, or an external test
+// package). Files is already filtered down to the files the analyzer
+// should inspect (test files are removed when the rule says so).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the files to inspect.
+	Files []*ast.File
+	// Path is the slash-separated package directory relative to the lint
+	// root, e.g. "internal/fed". Package-scoped configuration matches on
+	// this path.
+	Path string
+	Pkg  *types.Package
+	Info *types.Info
+	// Rule is the effective configuration for this analyzer in this
+	// package (never nil; used e.g. for the errdrop allowlist).
+	Rule *Rule
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when type information
+// is unavailable (e.g. the unit had type errors). Analyzers must treat a
+// nil result as "unknown" and stay silent rather than guess.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// isTestFile reports whether the file at this position is a _test.go file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// AllowDirective is the comment marker that waives a finding.
+const AllowDirective = "machlint:allow"
+
+// suppression is one parsed allow comment.
+type suppression struct {
+	file   string
+	line   int // line the comment appears on
+	checks []string
+	reason string
+}
+
+// parseSuppressions extracts every justified machlint:allow directive from
+// a file's comments. Directives without a justification are returned with
+// an empty reason and never suppress anything.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, AllowDirective) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
+			if rest == "" {
+				continue
+			}
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			out = append(out, suppression{
+				file:   pos.Filename,
+				line:   pos.Line,
+				checks: strings.Split(fields[0], ","),
+				reason: strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+			})
+		}
+	}
+	return out
+}
+
+// suppressionIndex answers "is (file, line, check) waived?".
+type suppressionIndex map[string]map[int]map[string]bool
+
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	add := func(file string, line int, check string) {
+		if idx[file] == nil {
+			idx[file] = map[int]map[string]bool{}
+		}
+		if idx[file][line] == nil {
+			idx[file][line] = map[string]bool{}
+		}
+		idx[file][line][check] = true
+	}
+	for _, f := range files {
+		for _, s := range parseSuppressions(fset, f) {
+			if s.reason == "" {
+				continue // unjustified waivers are inert by design
+			}
+			for _, c := range s.checks {
+				c = strings.TrimSpace(c)
+				if c == "" {
+					continue
+				}
+				// A trailing comment covers its own line; a standalone
+				// comment covers the line below it. Registering both is
+				// harmless because diagnostics never sit on a pure
+				// comment line's directive itself.
+				add(s.file, s.line, c)
+				add(s.file, s.line+1, c)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx suppressionIndex) suppressed(d Diagnostic) bool {
+	return idx[d.Pos.Filename][d.Pos.Line][d.Check]
+}
+
+// runUnit applies every configured analyzer to one type-checked unit and
+// returns the surviving (non-suppressed) diagnostics.
+func runUnit(u *Unit, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	idx := buildSuppressionIndex(u.Fset, u.Files)
+	for _, a := range analyzers {
+		rule := cfg.rule(a.Name)
+		if !rule.appliesTo(u.Path) {
+			continue
+		}
+		files := u.Files
+		if rule.SkipTests {
+			files = nil
+			for _, f := range u.Files {
+				if !isTestFile(u.Fset, f) {
+					files = append(files, f)
+				}
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    files,
+			Path:     u.Path,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			Rule:     rule,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// sortDiagnostics orders findings by file, line, column, then check name,
+// so output is stable regardless of analyzer scheduling.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy is a lite copylocks: it flags by-value copies of structs that
+// (transitively) contain sync.Mutex, sync.RWMutex, sync.WaitGroup,
+// sync.Once or sync.Cond at the three sites refactors actually introduce
+// them — value parameters, value receivers, and range value variables. A
+// copied lock guards nothing; go vet catches more sites, this keeps the
+// contract visible inside the same gate as the determinism checks.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "by-value copy of a struct containing a sync lock (params, receivers, range clauses)",
+	Run:  runMutexCopy,
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					p.checkLockFields(n.Recv, "receiver")
+				}
+				if n.Type.Params != nil {
+					p.checkLockFields(n.Type.Params, "parameter")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					p.checkLockFields(n.Type.Params, "parameter")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if lock := containsLock(p.TypeOf(n.Value), nil); lock != "" {
+						p.Reportf(n.Value.Pos(), "range value copies a struct containing sync.%s; range over indices or store pointers", lock)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkLockFields(fields *ast.FieldList, kind string) {
+	for _, field := range fields.List {
+		if lock := containsLock(p.TypeOf(field.Type), nil); lock != "" {
+			p.Reportf(field.Pos(), "%s passes a struct containing sync.%s by value; use a pointer", kind, lock)
+		}
+	}
+}
+
+// containsLock reports the name of the first sync lock type found by value
+// inside t ("" when none). Pointers, maps, slices, channels and interfaces
+// break the chain: the lock itself is not copied through them.
+func containsLock(t types.Type, seen map[types.Type]bool) string {
+	if t == nil {
+		return ""
+	}
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return obj.Name()
+		}
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lock := containsLock(t.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+// Package clean is the zero-findings fixture for machlint's exit-code
+// contract: linting it must return success.
+package clean
+
+// Sum adds the values in order; slice iteration is deterministic.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

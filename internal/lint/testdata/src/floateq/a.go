@@ -1,0 +1,34 @@
+// Package fixture exercises the floateq analyzer: exact float comparisons
+// are hazards unless justified; integer and string comparisons are not.
+package fixture
+
+func compare(a float64, b float32, eps float64) bool {
+	if a == 2.0 { // want "exact floating-point =="
+		return true
+	}
+	if b != 0 { // want "exact floating-point !="
+		return false
+	}
+	const half = 0.5
+	bad := a != half // want "exact floating-point !="
+	_ = bad
+
+	n := 3
+	if n == 3 { // integers compare exactly
+		n++
+	}
+	s := "x"
+	if s == "x" { // strings too
+		s = ""
+	}
+	if a-eps < half && half < a+eps { // tolerance comparison is the fix
+		return true
+	}
+	//machlint:allow floateq exact zero is a sentinel here, never a computed value
+	return a == 0
+}
+
+func unjustified(a float64) bool {
+	//machlint:allow floateq
+	return a == 1 // want "exact floating-point =="
+}

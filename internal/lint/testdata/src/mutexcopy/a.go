@@ -1,0 +1,51 @@
+// Package fixture exercises the mutexcopy analyzer: by-value lock copies
+// at parameters, receivers and range clauses are hazards; pointers and
+// index-based ranges are not.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct{ g guarded } // locks found transitively
+
+type counter struct{ wg sync.WaitGroup }
+
+func byValueParam(g guarded) int { return g.n } // want "by value"
+
+func byValueWaitGroup(c counter) { _ = c } // want "by value"
+
+func pointerParam(g *guarded) int { return g.n }
+
+func (g guarded) valueReceiver() int { return g.n } // want "by value"
+
+func (g *guarded) pointerReceiver() int { return g.n }
+
+func rangeCopies(gs []guarded, ws []wrapper) int {
+	total := 0
+	for _, g := range gs { // want "range value copies"
+		total += g.n
+	}
+	for _, w := range ws { // want "range value copies"
+		total += w.g.n
+	}
+	for i := range gs { // index ranges never copy
+		total += gs[i].n
+	}
+	for _, p := range []*guarded{} { // pointers break the copy chain
+		total += p.n
+	}
+	return total
+}
+
+func closureParam() {
+	f := func(g guarded) int { return g.n } // want "by value"
+	_ = f
+}
+
+func waived(g guarded) int { //machlint:allow mutexcopy fixture copies a never-locked zero value on purpose
+	return g.n
+}

@@ -1,0 +1,29 @@
+// Package seeded exists to prove the machlint pipeline exits nonzero:
+// every check in the suite has at least one live violation below. It is
+// loaded only by internal/lint tests — `machlint ./...` skips testdata
+// directories while walking patterns.
+package seeded
+
+import (
+	"math/rand"
+	"sync"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func mayFail() error { return nil }
+
+func violations(m map[string]float64, g guarded) float64 { // mutexcopy
+	total := 0.0
+	for _, v := range m { // maprange
+		total += v
+	}
+	if total == 0.5 { // floateq
+		total = rand.Float64() // globalrand
+	}
+	mayFail() // errdrop
+	return total + float64(g.n)
+}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strconv"
+
+	"github.com/mach-fl/mach/internal/det"
 )
 
 // Point is one evaluation of the global model.
@@ -117,11 +119,7 @@ func AverageHistories(runs []*History) *History {
 			stepSet[p.Step] = true
 		}
 	}
-	steps := make([]int, 0, len(stepSet))
-	for s := range stepSet {
-		steps = append(steps, s)
-	}
-	sort.Ints(steps)
+	steps := det.SortedKeys(stepSet)
 	out := &History{}
 	for _, s := range steps {
 		acc, loss := 0.0, 0.0

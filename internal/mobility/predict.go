@@ -67,6 +67,7 @@ func (p *Predictor) StationDistribution(station, steps int) ([]float64, error) {
 			next[j] = 0
 		}
 		for i, pi := range cur {
+			//machlint:allow floateq sparsity fast path; exact zero rows contribute exactly nothing
 			if pi == 0 {
 				continue
 			}

@@ -3,6 +3,8 @@ package mobility
 import (
 	"fmt"
 	"sort"
+
+	"github.com/mach-fl/mach/internal/det"
 )
 
 // TraceStats summarizes a mobility trace: the quantities one inspects to
@@ -93,7 +95,10 @@ func EstimateTransitions(t *Trace, stations int) ([][]float64, error) {
 		}
 		byDevice[r.Device] = append(byDevice[r.Device], r)
 	}
-	for _, recs := range byDevice {
+	// Walk devices in sorted-key order: the count accumulations below are
+	// floating point, so the randomized map order must never reach them.
+	for _, d := range det.SortedKeys(byDevice) {
+		recs := byDevice[d]
 		sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
 		for i := 1; i < len(recs); i++ {
 			counts[recs[i-1].Station][recs[i].Station]++
@@ -104,6 +109,7 @@ func EstimateTransitions(t *Trace, stations int) ([][]float64, error) {
 		for _, c := range counts[i] {
 			total += c
 		}
+		//machlint:allow floateq counts sum small integers exactly; zero is the precise "no departures observed" case
 		if total == 0 {
 			for j := range counts[i] {
 				counts[i][j] = 1 / float64(stations)

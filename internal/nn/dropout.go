@@ -36,6 +36,7 @@ func (d *Dropout) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	//machlint:allow floateq p is configured, not computed; exact zero means dropout disabled
 	if !train || d.p == 0 {
 		return x
 	}

@@ -104,6 +104,7 @@ func (b *ExperienceBook) LastAverage(m int, fallback float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	d := &b.devices[m]
+	//machlint:allow floateq exact zero is the "no folded experience yet" sentinel, never a computed norm
 	if !d.seen || d.lastAvg == 0 {
 		return fallback
 	}

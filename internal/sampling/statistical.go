@@ -3,6 +3,8 @@ package sampling
 import (
 	"fmt"
 	"sync"
+
+	"github.com/mach-fl/mach/internal/det"
 )
 
 // Statistical is the statistical-sampling baseline (SS): device probabilities
@@ -77,8 +79,8 @@ func (s *Statistical) Observe(_, edge, m int, sqNorms []float64) {
 func (s *Statistical) CloudRound(t int) {
 	s.mu.Lock()
 	books := make([]*ExperienceBook, 0, len(s.books))
-	for _, b := range s.books {
-		books = append(books, b)
+	for _, edge := range det.SortedKeys(s.books) {
+		books = append(books, s.books[edge])
 	}
 	s.mu.Unlock()
 	for _, b := range books {

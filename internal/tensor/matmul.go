@@ -88,6 +88,7 @@ func matMulBlocked(dst, a, b []float64, i0, i1, k, n int) {
 				drow := dst[i*n : (i+1)*n]
 				for p := pb; p < pe; p++ {
 					av := arow[p]
+					//machlint:allow floateq sparsity fast path: exact zero rows multiply to exactly zero, skipping them is bit-identical
 					if av == 0 {
 						continue
 					}
@@ -141,6 +142,7 @@ func matMulTransAInto(dst, a, b []float64, k, m, n int) {
 		arow := a[p*m : (p+1)*m]
 		brow := b[p*n : (p+1)*n]
 		for i, av := range arow {
+			//machlint:allow floateq sparsity fast path: exact zero rows multiply to exactly zero, skipping them is bit-identical
 			if av == 0 {
 				continue
 			}

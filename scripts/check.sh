@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# check.sh — the repo's tier-1+ gate: vet, build, full test suite, and the
-# race detector over the concurrent packages (the worker-pool engine and the
-# row-parallel matmul). Run via `make check` or directly. Every PR must pass.
+# check.sh — the repo's tier-1+ gate: vet, build, machlint, full test suite,
+# and the race detector over the concurrent packages (the worker-pool engine
+# and the row-parallel matmul). Run via `make check` or directly. Every PR
+# must pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,6 +12,9 @@ go vet ./...
 
 echo "== go build ./..."
 go build ./...
+
+echo "== machlint ./... (DESIGN.md §5.5 invariants)"
+go run ./cmd/machlint ./...
 
 echo "== go test ./..."
 go test ./...
