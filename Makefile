@@ -18,7 +18,12 @@ race:
 bench-engine:
 	go run ./cmd/machbench -exp engine
 
+# Wire-format benchmark: measured bytes per codec scheme on a loopback
+# deployment; writes BENCH_comm.json in the repo root.
+bench-comm:
+	go run ./cmd/machbench -exp comm
+
 bench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check lint test race bench bench-engine
+.PHONY: check lint test race bench bench-engine bench-comm

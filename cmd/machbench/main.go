@@ -53,7 +53,7 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | all")
+		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | comm | all")
 		task  = flag.String("task", "", "task: mnist | fmnist | cifar10 (default: all tasks)")
 		scale = flag.String("scale", "ci", "scale: ci | full")
 		seed  = flag.Int64("seed", 1, "base random seed")
@@ -88,6 +88,11 @@ func run() error {
 		// numbers are comparable across commits; task/scale flags don't
 		// apply.
 		return runEngine(*outDir)
+	}
+	if *exp == "comm" {
+		// Same deal for the wire-format benchmark: a frozen distributed
+		// deployment measured per codec scheme.
+		return runComm(*outDir)
 	}
 
 	tasks := bench.AllTasks()
@@ -311,6 +316,40 @@ func runEngine(outDir string) error {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	fmt.Printf("\n[engine bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
+	return nil
+}
+
+// runComm measures the distributed stack's wire traffic per codec scheme
+// (real bytes counted on every connection) and writes BENCH_comm.json next
+// to the binary or into -out.
+func runComm(outDir string) error {
+	start := time.Now()
+	r, err := bench.RunCommBench(bench.CommBenchPreset())
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderCommBench(os.Stdout, r); err != nil {
+		return err
+	}
+	path := "BENCH_comm.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+		path = filepath.Join(outDir, path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	err = r.WriteCommBenchJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("\n[comm bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	"github.com/mach-fl/mach/internal/bench"
+	"github.com/mach-fl/mach/internal/codec"
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/fed"
 )
@@ -50,8 +51,14 @@ func run() error {
 		edgeIndex = flag.Int("edge-index", 0, "edge: index of this edge")
 		hostList  = flag.String("device-hosts", "", "edge/cloud: comma-separated device host addresses")
 		edgeList  = flag.String("edge-addrs", "", "cloud: comma-separated edge addresses")
+		codecName = flag.String("codec", codec.SchemeDelta.String(),
+			"cloud: wire format for model transfers: delta | raw | float32 | int8")
 	)
 	flag.Parse()
+	scheme, err := codec.ParseScheme(*codecName)
+	if err != nil {
+		return err
+	}
 
 	cfg := bench.TaskPreset(bench.Task(*task), bench.ScaleCI)
 	cfg.Seed = *seed
@@ -129,6 +136,7 @@ func run() error {
 			Participation: cfg.Participation,
 			EvalEvery:     cfg.EvalEvery,
 			Seed:          *seed,
+			Codec:         scheme,
 		}, cfg.Arch(), env.Schedule, env.Test, edgeAddrs, hostAddrs)
 		if err != nil {
 			return err
@@ -142,6 +150,11 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "machnode: cloud finished, final accuracy %.4f\n", hist.FinalAccuracy())
+		if comm, err := cloud.CommStats(); err == nil {
+			fmt.Fprintf(os.Stderr,
+				"machnode: comm (%s, measured): device up %d B, down %d B, cloud %d B, total %d B\n",
+				scheme, comm.DeviceUplinkBytes, comm.DeviceDownlinkBytes, comm.CloudBytes, comm.Total())
+		}
 		return nil
 
 	default:

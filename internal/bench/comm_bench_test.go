@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCommBenchContract runs the wire-format benchmark at a reduced step
+// budget and checks the claims BENCH_comm.json makes: the lossless delta
+// format reproduces the raw trajectory bit for bit while moving several
+// times fewer measured bytes, and every row/micro entry is well-formed.
+func TestCommBenchContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed deployments per scheme are not short")
+	}
+	cfg := CommBenchPreset()
+	cfg.Steps = 10
+	r, err := RunCommBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	rows := map[string]CommBenchRow{}
+	for _, row := range r.Rows {
+		rows[row.Scheme] = row
+		if row.TotalBytes <= 0 || row.BytesPerStep <= 0 {
+			t.Fatalf("row %s has no measured traffic: %+v", row.Scheme, row)
+		}
+	}
+	raw, delta := rows["raw"], rows["delta"]
+	if !raw.BitIdenticalToRaw || raw.ReductionVsRaw != 1 {
+		t.Fatalf("raw reference row malformed: %+v", raw)
+	}
+	if !delta.BitIdenticalToRaw {
+		t.Fatal("lossless delta run is not bit-identical to raw")
+	}
+	if delta.ReductionVsRaw < 3 {
+		t.Fatalf("delta reduction %.2fx below 3x at test scale", delta.ReductionVsRaw)
+	}
+	for _, name := range []string{"float32", "int8"} {
+		if rows[name].Lossless {
+			t.Fatalf("%s marked lossless", name)
+		}
+		if rows[name].FinalAccuracy <= 0 {
+			t.Fatalf("%s run did not evaluate: %+v", name, rows[name])
+		}
+	}
+	if len(r.Micro) != 4 {
+		t.Fatalf("%d micro rows, want 4", len(r.Micro))
+	}
+	for _, m := range r.Micro {
+		if m.EncodedBytes <= 0 || m.Ratio <= 0 {
+			t.Fatalf("micro row %s malformed: %+v", m.Scheme, m)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteCommBenchJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back CommBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_comm.json payload does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(r.Rows) {
+		t.Fatalf("JSON round-trip lost rows: %d != %d", len(back.Rows), len(r.Rows))
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 
+	"github.com/mach-fl/mach/internal/codec"
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/hfl"
 	"github.com/mach-fl/mach/internal/metrics"
@@ -25,6 +27,11 @@ type CloudConfig struct {
 	EvalEvery int
 	// Seed drives model initialization.
 	Seed int64
+	// Codec selects the wire format for every model transfer of the run
+	// (DESIGN.md §6). The zero value, codec.SchemeDelta, is lossless and
+	// reproduces codec.SchemeRaw's learning trajectory bit for bit while
+	// moving far fewer bytes.
+	Codec codec.Scheme
 }
 
 // Validate reports whether the config is usable.
@@ -37,7 +44,7 @@ func (c CloudConfig) Validate() error {
 	case c.EvalEvery < 0:
 		return fmt.Errorf("fed: eval interval %d negative", c.EvalEvery)
 	}
-	return nil
+	return c.Codec.Validate()
 }
 
 // Cloud is the coordinator: it owns the mobility schedule, drives time
@@ -50,12 +57,28 @@ type Cloud struct {
 	evalNet  *nn.Network
 	global   []float64
 
+	// prevView/prevID track the last global the cloud distributed, exactly
+	// as the edges decoded it (for lossless schemes that is c.global
+	// itself); the next distribution is encoded as a delta against it and
+	// edge replies are decoded against it. efGlobal is the error-feedback
+	// buffer for lossy global broadcasts.
+	prevView []float64
+	prevID   uint64
+	lastID   uint64
+	efGlobal []float64
+
 	edges       []*rpc.Client
 	deviceHosts []*rpc.Client
+
+	// comm counts the bytes crossing the cloud's own connections, both
+	// directions; transfers the model-bearing messages among them.
+	comm      atomic.Int64
+	transfers atomic.Int64
 }
 
 // NewCloud dials the edge servers and device hosts and initializes the
-// global model from arch.
+// global model from arch. Every connection counts its wire bytes into the
+// cloud's communication counters (CommStats).
 func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, schedule *mobility.Schedule, test *dataset.Dataset, edgeAddrs, deviceHostAddrs []string) (*Cloud, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -85,14 +108,14 @@ func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, schedule *mobility.Schedule, t
 		global:   net0.ParamVector(),
 	}
 	for _, addr := range edgeAddrs {
-		cl, err := rpc.Dial("tcp", addr)
+		cl, err := dialCounting(addr, &c.comm, &c.comm)
 		if err != nil {
 			return nil, fmt.Errorf("fed: cloud dial edge %s: %w", addr, err)
 		}
 		c.edges = append(c.edges, cl)
 	}
 	for _, addr := range deviceHostAddrs {
-		cl, err := rpc.Dial("tcp", addr)
+		cl, err := dialCounting(addr, &c.comm, &c.comm)
 		if err != nil {
 			return nil, fmt.Errorf("fed: cloud dial device host %s: %w", addr, err)
 		}
@@ -120,15 +143,49 @@ func (c *Cloud) Close() error {
 // GlobalParams returns a copy of the current global model parameters.
 func (c *Cloud) GlobalParams() []float64 { return append([]float64(nil), c.global...) }
 
+// CommStats collects the run's measured communication volume: the cloud's
+// own connection counters plus each edge's device-facing counters. The
+// cloud counters are snapshotted before the collection RPCs so the
+// collection itself is not measured.
+func (c *Cloud) CommStats() (hfl.CommStats, error) {
+	stats := hfl.CommStats{
+		CloudBytes:     c.comm.Load(),
+		CloudTransfers: c.transfers.Load(),
+		Measured:       true,
+	}
+	for n, cl := range c.edges {
+		var rep CommReply
+		if err := cl.Call("Edge.Comm", CommArgs{}, &rep); err != nil {
+			return hfl.CommStats{}, fmt.Errorf("fed: comm stats from edge %d: %w", n, err)
+		}
+		stats.DeviceUplinkBytes += rep.UplinkBytes
+		stats.DeviceDownlinkBytes += rep.DownlinkBytes
+		stats.DeviceUploads += rep.Uploads
+		stats.DeviceDownloads += rep.Downloads
+	}
+	return stats, nil
+}
+
 // Run drives the full training (Algorithm 1 over RPC) and returns the
 // accuracy history.
 func (c *Cloud) Run() (*metrics.History, error) {
 	hist := &metrics.History{}
 	capacity := c.cfg.Participation * float64(c.schedule.Devices) / float64(c.schedule.Edges)
+	raw := c.cfg.Codec == codec.SchemeRaw
 	resetParams := true // first step seeds every edge with the global model
 	edgeParams := make([][]float64, c.schedule.Edges)
 
 	for t := 0; t < c.cfg.Steps; t++ {
+		cloudRound := (t+1)%c.cfg.CloudInterval == 0
+		var blob codec.Blob
+		var blobID uint64
+		if resetParams && !raw {
+			var err error
+			blob, blobID, err = c.encodeGlobal()
+			if err != nil {
+				return nil, fmt.Errorf("fed: step %d encode global: %w", t, err)
+			}
+		}
 		var wg sync.WaitGroup
 		errs := make([]error, c.schedule.Edges)
 		for n := range c.edges {
@@ -136,19 +193,40 @@ func (c *Cloud) Run() (*metrics.History, error) {
 			go func(n int) {
 				defer wg.Done()
 				args := EdgeStepArgs{
-					Step:     t,
-					Members:  c.schedule.MembersAt(t, n),
-					Capacity: capacity,
+					Step:      t,
+					Members:   c.schedule.MembersAt(t, n),
+					Capacity:  capacity,
+					Scheme:    c.cfg.Codec,
+					WantModel: cloudRound && !raw,
 				}
 				if resetParams {
-					args.Params = c.global
+					if raw {
+						args.Params = c.global
+					} else {
+						args.Model = blob
+						args.ModelID = blobID
+						args.HasModel = true
+					}
+					c.transfers.Add(1)
 				}
 				var rep EdgeStepReply
 				if err := c.edges[n].Call("Edge.Step", args, &rep); err != nil {
 					errs[n] = err
 					return
 				}
-				edgeParams[n] = rep.Params
+				switch {
+				case raw:
+					edgeParams[n] = rep.Params
+					c.transfers.Add(1)
+				case rep.HasModel:
+					params, err := c.decodeEdgeModel(rep.Model)
+					if err != nil {
+						errs[n] = err
+						return
+					}
+					edgeParams[n] = params
+					c.transfers.Add(1)
+				}
 			}(n)
 		}
 		wg.Wait()
@@ -159,7 +237,6 @@ func (c *Cloud) Run() (*metrics.History, error) {
 		}
 		resetParams = false
 
-		cloudRound := (t+1)%c.cfg.CloudInterval == 0
 		if cloudRound {
 			c.aggregate(t, edgeParams)
 			resetParams = true
@@ -184,6 +261,54 @@ func (c *Cloud) Run() (*metrics.History, error) {
 		}
 	}
 	return hist, nil
+}
+
+// encodeGlobal packs the current global model for distribution: a delta
+// against the previously distributed global when there is one, baseline-free
+// on the first distribution. It returns the blob and the new global's ID and
+// records the receivers' view of it for the next round trip.
+func (c *Cloud) encodeGlobal() (codec.Blob, uint64, error) {
+	var baseline []float64
+	var baseID uint64
+	if len(c.prevView) == len(c.global) && c.prevID != 0 {
+		baseline, baseID = c.prevView, c.prevID
+	}
+	var ef []float64
+	if c.cfg.Codec == codec.SchemeInt8 {
+		if len(c.efGlobal) != len(c.global) {
+			c.efGlobal = make([]float64, len(c.global))
+		}
+		ef = c.efGlobal
+	}
+	blob, err := codec.Encode(c.cfg.Codec, c.global, baseline, baseID, ef)
+	if err != nil {
+		return codec.Blob{}, 0, err
+	}
+	// Record exactly what receivers will hold after decoding; under lossy
+	// schemes that differs from c.global, and edge replies come back encoded
+	// against it.
+	view, err := codec.Decode(blob, baseline)
+	if err != nil {
+		return codec.Blob{}, 0, err
+	}
+	c.lastID++
+	c.prevView, c.prevID = view, c.lastID
+	return blob, c.lastID, nil
+}
+
+// decodeEdgeModel unpacks an edge's model reply, which is encoded against
+// the last global the cloud distributed (or baseline-free before the first
+// distribution reached that edge).
+func (c *Cloud) decodeEdgeModel(blob codec.Blob) ([]float64, error) {
+	var baseline []float64
+	if blob.Baseline != 0 {
+		if blob.Baseline != c.prevID {
+			return nil, fmt.Errorf("fed: edge model against global %d, cloud last sent %d: %w",
+				blob.Baseline, c.prevID, codec.ErrUnknownBaseline)
+		}
+		baseline = c.prevView
+	}
+	return codec.Decode(blob, baseline)
 }
 
 // aggregate merges edge models with the member-count weights of Eq. (6).

@@ -7,6 +7,7 @@ import (
 	"net/rpc"
 	"sync"
 
+	"github.com/mach-fl/mach/internal/codec"
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/hfl"
 	"github.com/mach-fl/mach/internal/nn"
@@ -23,6 +24,15 @@ type DeviceServer struct {
 	book    *sampling.ExperienceBook
 	arch    hfl.ArchFunc
 	seed    int64
+
+	// edgeBases caches, per edge, the base models installed by SetBase or
+	// advanced in place by TrainMany (DESIGN.md §6). At most a couple of
+	// vectors per edge are alive at any time: SetBase replaces the edge's
+	// whole cache and TrainMany's advance drops the base it consumed.
+	edgeBases map[int]map[uint64][]float64
+	// efSum holds the per-edge error-feedback buffers for lossy update-sum
+	// encodes (codec.SchemeInt8 streams).
+	efSum map[int][]float64
 
 	listener net.Listener
 	server   *rpc.Server
@@ -52,10 +62,12 @@ func NewDeviceServer(arch hfl.ArchFunc, data map[int]*dataset.Dataset, machCfg s
 		}
 	}
 	ds := &DeviceServer{
-		devices: make(map[int]*hostedDevice, len(data)),
-		book:    sampling.NewExperienceBook(maxID+1, machCfg.ExplorationCoef, machCfg.Discount),
-		arch:    arch,
-		seed:    seed,
+		devices:   make(map[int]*hostedDevice, len(data)),
+		book:      sampling.NewExperienceBook(maxID+1, machCfg.ExplorationCoef, machCfg.Discount),
+		arch:      arch,
+		seed:      seed,
+		edgeBases: make(map[int]map[uint64][]float64),
+		efSum:     make(map[int][]float64),
 	}
 	for id, d := range data {
 		rng := rand.New(rand.NewSource(seed + int64(id)*311))
@@ -160,22 +172,145 @@ func (s *DeviceServer) Train(args TrainArgs, reply *TrainReply) error {
 	if !ok {
 		return fmt.Errorf("fed: device %d not hosted here", args.Device)
 	}
-	if args.Hyper.LocalEpochs <= 0 || args.Hyper.BatchSize <= 0 || args.Hyper.LearningRate <= 0 {
-		return fmt.Errorf("fed: invalid hyperparameters %+v", args.Hyper)
+	sqNorms, err := s.trainOne(dev, args.Device, args.Params, args.Hyper)
+	if err != nil {
+		return err
 	}
-	if err := dev.model.SetParamVector(args.Params); err != nil {
-		return fmt.Errorf("fed: device %d: %w", args.Device, err)
+	reply.Params = dev.model.ParamVector()
+	reply.SqNorms = sqNorms
+	return nil
+}
+
+// trainOne runs local updating (Eq. 4) on one hosted device from the given
+// base parameters and records the experience. The device's model holds the
+// trained parameters afterwards.
+func (s *DeviceServer) trainOne(dev *hostedDevice, id int, base []float64, hyper Hyper) ([]float64, error) {
+	if hyper.LocalEpochs <= 0 || hyper.BatchSize <= 0 || hyper.LearningRate <= 0 {
+		return nil, fmt.Errorf("fed: invalid hyperparameters %+v", hyper)
 	}
-	dev.opt.SetLearningRate(args.Hyper.LearningRate)
-	sqNorms := make([]float64, args.Hyper.LocalEpochs)
+	if err := dev.model.SetParamVector(base); err != nil {
+		return nil, fmt.Errorf("fed: device %d: %w", id, err)
+	}
+	dev.opt.SetLearningRate(hyper.LearningRate)
+	sqNorms := make([]float64, hyper.LocalEpochs)
 	for tau := range sqNorms {
-		x, y := dev.data.RandomBatch(dev.rng, args.Hyper.BatchSize)
+		x, y := dev.data.RandomBatch(dev.rng, hyper.BatchSize)
 		_, gn := dev.model.TrainStep(x, y, dev.opt)
 		sqNorms[tau] = gn
 	}
-	s.book.Observe(args.Device, sqNorms)
-	reply.Params = dev.model.ParamVector()
-	reply.SqNorms = sqNorms
+	s.book.Observe(id, sqNorms)
+	return sqNorms, nil
+}
+
+// SetBase caches an edge's base model under a baseline ID (DESIGN.md §6).
+// Installing a base replaces every earlier base of that edge, so the cache
+// holds at most one vector per edge between steps.
+func (s *DeviceServer) SetBase(args SetBaseArgs, reply *SetBaseReply) error {
+	params, err := codec.Decode(args.Model, nil)
+	if err != nil {
+		return fmt.Errorf("fed: set base for edge %d: %w", args.Edge, err)
+	}
+	s.mu.Lock()
+	s.edgeBases[args.Edge] = map[uint64][]float64{args.ID: params}
+	s.mu.Unlock()
+	*reply = SetBaseReply{}
+	return nil
+}
+
+// GetBase returns the bits of a cached base model, always encoded lossless
+// so the caller recovers exactly what the hosted devices train from.
+func (s *DeviceServer) GetBase(args GetBaseArgs, reply *GetBaseReply) error {
+	base, err := s.lookupBase(args.Edge, args.ID)
+	if err != nil {
+		return err
+	}
+	blob, err := codec.Encode(codec.SchemeDelta, base, nil, 0, nil)
+	if err != nil {
+		return err
+	}
+	reply.Model = blob
+	return nil
+}
+
+func (s *DeviceServer) lookupBase(edge int, id uint64) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base, ok := s.edgeBases[edge][id]
+	if !ok {
+		return nil, fmt.Errorf("fed: edge %d base %d not cached here: %w", edge, id, codec.ErrUnknownBaseline)
+	}
+	return base, nil
+}
+
+// TrainMany runs local updating on every listed device from the cached base
+// named by BaseID and returns the summed update Σ(w_m − base), accumulated
+// in args.Devices order so the edge's aggregation is order-identical to the
+// raw path's. With args.Advance the host instead folds the sum into the
+// next base itself (base + Σ/|Devices|), installs it under NextID and ships
+// no vector at all. Devices train sequentially: they share the host's
+// compute the way one simulator machine emulates a fleet, and cross-host
+// parallelism comes from the edge's concurrent dispatch.
+func (s *DeviceServer) TrainMany(args TrainManyArgs, reply *TrainManyReply) error {
+	if err := args.Scheme.Validate(); err != nil {
+		return err
+	}
+	if len(args.Devices) == 0 {
+		return fmt.Errorf("fed: TrainMany with no devices")
+	}
+	base, err := s.lookupBase(args.Edge, args.BaseID)
+	if err != nil {
+		return err
+	}
+	sum := make([]float64, len(base))
+	reply.SqNorms = make([][]float64, len(args.Devices))
+	for i, id := range args.Devices {
+		s.mu.Lock()
+		dev, ok := s.devices[id]
+		s.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("fed: device %d not hosted here", id)
+		}
+		sqNorms, err := s.trainOne(dev, id, base, args.Hyper)
+		if err != nil {
+			return err
+		}
+		reply.SqNorms[i] = sqNorms
+		trained := dev.model.ParamVector()
+		for j, v := range trained {
+			sum[j] += v - base[j]
+		}
+	}
+
+	if args.Advance {
+		inv := 1 / float64(len(args.Devices))
+		next := make([]float64, len(base))
+		for j := range next {
+			next[j] = base[j] + inv*sum[j]
+		}
+		s.mu.Lock()
+		bases := s.edgeBases[args.Edge]
+		delete(bases, args.BaseID)
+		bases[args.NextID] = next
+		s.mu.Unlock()
+		return nil
+	}
+
+	var ef []float64
+	if args.Scheme == codec.SchemeInt8 {
+		s.mu.Lock()
+		ef = s.efSum[args.Edge]
+		if len(ef) != len(sum) {
+			ef = make([]float64, len(sum))
+			s.efSum[args.Edge] = ef
+		}
+		s.mu.Unlock()
+	}
+	blob, err := codec.Encode(args.Scheme, sum, nil, 0, ef)
+	if err != nil {
+		return err
+	}
+	reply.Sum = blob
+	reply.HasSum = true
 	return nil
 }
 

@@ -1,11 +1,16 @@
 package fed
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"net/rpc"
 	"testing"
 
+	"github.com/mach-fl/mach/internal/codec"
 	"github.com/mach-fl/mach/internal/dataset"
+	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/metrics"
 	"github.com/mach-fl/mach/internal/mobility"
 	"github.com/mach-fl/mach/internal/nn"
 	"github.com/mach-fl/mach/internal/sampling"
@@ -15,8 +20,9 @@ func testArch(rng *rand.Rand) (*nn.Network, error) {
 	return nn.NewMLP("fed-test", 16, []int{8}, 10, rng), nil
 }
 
-// deployment spins up a full in-process cluster on loopback TCP: two device
-// hosts splitting the device population, `edges` edge servers, and a cloud.
+// deployment spins up a full in-process cluster on loopback TCP: `hosts`
+// device hosts splitting the device population, `edges` edge servers, and a
+// cloud driving the run under the given wire format.
 type deployment struct {
 	cloud   *Cloud
 	devices []*DeviceServer
@@ -35,7 +41,7 @@ func (d *deployment) close() {
 	}
 }
 
-func deploy(t *testing.T, devices, edges, steps int) *deployment {
+func deploy(t *testing.T, devices, edges, steps, hosts int, scheme codec.Scheme) *deployment {
 	t.Helper()
 	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
 	if err != nil {
@@ -59,11 +65,11 @@ func deploy(t *testing.T, devices, edges, steps int) *deployment {
 	d := &deployment{}
 	machCfg := sampling.DefaultMACHConfig()
 
-	// Two device hosts, splitting the population in half.
+	// Device hosts splitting the population into contiguous ranges.
 	table := map[int]string{}
-	for h := 0; h < 2; h++ {
+	for h := 0; h < hosts; h++ {
 		data := map[int]*dataset.Dataset{}
-		for m := h * devices / 2; m < (h+1)*devices/2; m++ {
+		for m := h * devices / hosts; m < (h+1)*devices/hosts; m++ {
 			data[m] = parts[m]
 		}
 		srv, err := NewDeviceServer(testArch, data, machCfg, int64(100+h))
@@ -106,6 +112,7 @@ func deploy(t *testing.T, devices, edges, steps int) *deployment {
 	}
 	cloud, err := NewCloud(CloudConfig{
 		Steps: steps, CloudInterval: 5, Participation: 0.5, EvalEvery: 5, Seed: 6,
+		Codec: scheme,
 	}, testArch, sched, test, edgeAddrs, hostAddrs)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +122,10 @@ func deploy(t *testing.T, devices, edges, steps int) *deployment {
 }
 
 func TestDistributedTrainingLearns(t *testing.T) {
-	d := deploy(t, 8, 2, 30)
+	if testing.Short() {
+		t.Skip("full 30-step deployment is not short")
+	}
+	d := deploy(t, 8, 2, 30, 2, codec.SchemeDelta)
 	defer d.close()
 	hist, err := d.cloud.Run()
 	if err != nil {
@@ -259,6 +269,7 @@ func TestCloudConfigValidation(t *testing.T) {
 		{"zero interval", func(c *CloudConfig) { c.CloudInterval = 0 }},
 		{"participation", func(c *CloudConfig) { c.Participation = 0 }},
 		{"negative eval", func(c *CloudConfig) { c.EvalEvery = -1 }},
+		{"bad codec", func(c *CloudConfig) { c.Codec = codec.Scheme(99) }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -346,8 +357,9 @@ func TestEdgeStepEmptyMembersKeepsModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.Close()
+	// Raw format: the reply carries the unchanged vector directly.
 	var rep EdgeStepReply
-	if err := e.Step(EdgeStepArgs{Step: 3, Members: nil, Capacity: 2}, &rep); err != nil {
+	if err := e.Step(EdgeStepArgs{Step: 3, Members: nil, Capacity: 2, Scheme: codec.SchemeRaw}, &rep); err != nil {
 		t.Fatal(err)
 	}
 	if rep.Sampled != 0 || len(rep.Params) != len(params) {
@@ -356,6 +368,31 @@ func TestEdgeStepEmptyMembersKeepsModel(t *testing.T) {
 	for i := range params {
 		if rep.Params[i] != params[i] {
 			t.Fatal("edge model changed without participants")
+		}
+	}
+
+	// Codec format: the model only travels when asked for, as a blob.
+	rep = EdgeStepReply{}
+	if err := e.Step(EdgeStepArgs{Step: 4, Members: nil, Capacity: 2}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasModel || rep.Params != nil {
+		t.Fatal("codec edge step shipped a model nobody asked for")
+	}
+	rep = EdgeStepReply{}
+	if err := e.Step(EdgeStepArgs{Step: 5, Members: nil, Capacity: 2, WantModel: true}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasModel {
+		t.Fatal("codec edge step did not return the requested model")
+	}
+	got, err := codec.Decode(rep.Model, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+			t.Fatal("decoded edge model differs from the installed parameters")
 		}
 	}
 }
@@ -392,5 +429,174 @@ func TestNewCloudValidation(t *testing.T) {
 	// Valid inputs but unreachable edge addresses: dial must fail.
 	if _, err := NewCloud(cfg, testArch, sched, test, []string{"127.0.0.1:1", "127.0.0.1:1"}, nil); err == nil {
 		t.Fatal("expected dial error")
+	}
+}
+
+// runDeployment spins up a cluster, runs it to completion and returns the
+// evaluation history, the final global model and the measured comm stats.
+func runDeployment(t *testing.T, hosts int, scheme codec.Scheme, steps int) (*metrics.History, []float64, hfl.CommStats) {
+	t.Helper()
+	d := deploy(t, 8, 2, steps, hosts, scheme)
+	defer d.close()
+	hist, err := d.cloud.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.cloud.CommStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hist, d.cloud.GlobalParams(), stats
+}
+
+// TestDeltaCodecBitIdenticalAndCheaperThanRaw is the codec contract end to
+// end: the lossless delta wire format must reproduce the raw format's
+// learning trajectory bit for bit — same evaluation history, same final
+// global parameters — while moving strictly fewer measured wire bytes. The
+// single-host case exercises the host-side base advance (no model bytes on
+// the wire between cloud rounds); the two-host case the update-sum path.
+func TestDeltaCodecBitIdenticalAndCheaperThanRaw(t *testing.T) {
+	for _, hosts := range []int{1, 2} {
+		t.Run(fmt.Sprintf("hosts=%d", hosts), func(t *testing.T) {
+			const steps = 10
+			histRaw, globalRaw, commRaw := runDeployment(t, hosts, codec.SchemeRaw, steps)
+			histDelta, globalDelta, commDelta := runDeployment(t, hosts, codec.SchemeDelta, steps)
+
+			if histRaw.Len() == 0 || histRaw.Len() != histDelta.Len() {
+				t.Fatalf("history lengths: raw %d, delta %d", histRaw.Len(), histDelta.Len())
+			}
+			for i := range histRaw.Points {
+				pr, pd := histRaw.Points[i], histDelta.Points[i]
+				if pr.Step != pd.Step ||
+					math.Float64bits(pr.Accuracy) != math.Float64bits(pd.Accuracy) ||
+					math.Float64bits(pr.Loss) != math.Float64bits(pd.Loss) {
+					t.Fatalf("evaluation %d diverged: raw %+v, delta %+v", i, pr, pd)
+				}
+			}
+			if len(globalRaw) != len(globalDelta) {
+				t.Fatalf("global lengths: raw %d, delta %d", len(globalRaw), len(globalDelta))
+			}
+			for j := range globalRaw {
+				if math.Float64bits(globalRaw[j]) != math.Float64bits(globalDelta[j]) {
+					t.Fatalf("global parameter %d diverged: raw %v, delta %v", j, globalRaw[j], globalDelta[j])
+				}
+			}
+
+			for _, c := range []hfl.CommStats{commRaw, commDelta} {
+				if !c.Measured {
+					t.Fatalf("comm stats not marked measured: %+v", c)
+				}
+				if c.DeviceUplinkBytes <= 0 || c.DeviceDownlinkBytes <= 0 || c.CloudBytes <= 0 {
+					t.Fatalf("comm counters empty: %+v", c)
+				}
+			}
+			rawDev := commRaw.DeviceUplinkBytes + commRaw.DeviceDownlinkBytes
+			deltaDev := commDelta.DeviceUplinkBytes + commDelta.DeviceDownlinkBytes
+			if deltaDev >= rawDev {
+				t.Fatalf("delta device traffic %d B not below raw %d B", deltaDev, rawDev)
+			}
+			if commDelta.Total() >= commRaw.Total() {
+				t.Fatalf("delta total %d B not below raw total %d B", commDelta.Total(), commRaw.Total())
+			}
+			t.Logf("hosts=%d: device bytes raw=%d delta=%d (%.1fx), total raw=%d delta=%d (%.1fx)",
+				hosts, rawDev, deltaDev, float64(rawDev)/float64(deltaDev),
+				commRaw.Total(), commDelta.Total(), float64(commRaw.Total())/float64(commDelta.Total()))
+		})
+	}
+}
+
+// TestLossySchemesStillLearn bounds the accuracy degradation of the lossy
+// wire formats: a full run under float32 casting and int8 range quantization
+// (with error feedback) must still clear the same accuracy bar as the
+// lossless run in TestDistributedTrainingLearns.
+func TestLossySchemesStillLearn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 30-step deployments are not short")
+	}
+	for _, scheme := range []codec.Scheme{codec.SchemeFloat32, codec.SchemeInt8} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			d := deploy(t, 8, 2, 30, 2, scheme)
+			defer d.close()
+			hist, err := d.cloud.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hist.FinalAccuracy() < 0.3 {
+				t.Fatalf("%v run degraded too far: final accuracy %.3f", scheme, hist.FinalAccuracy())
+			}
+		})
+	}
+}
+
+// TestTrainManyUnknownBaselineOverRPC checks the baseline-cache handshake
+// where it matters: across net/rpc, which flattens errors to strings. A
+// TrainMany naming a base the host never saw must come back recognizable to
+// isUnknownBaseline, and succeed after SetBase installs that base.
+func TestTrainManyUnknownBaselineOverRPC(t *testing.T) {
+	task, err := dataset.NewTask(dataset.MNISTLike(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := task.Generate(rand.New(rand.NewSource(1)), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewDeviceServer(testArch, map[int]*dataset.Dataset{0: data}, sampling.DefaultMACHConfig(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	args := TrainManyArgs{
+		Edge: 0, Devices: []int{0}, BaseID: 77, Scheme: codec.SchemeDelta,
+		Hyper: Hyper{LocalEpochs: 1, BatchSize: 4, LearningRate: 0.05},
+	}
+	var rep TrainManyReply
+	err = client.Call("Device.TrainMany", args, &rep)
+	if err == nil {
+		t.Fatal("expected unknown-baseline error")
+	}
+	if !isUnknownBaseline(err) {
+		t.Fatalf("error %v not recognized as unknown baseline across RPC", err)
+	}
+
+	base, err := testArch(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := base.ParamVector()
+	blob, err := codec.Encode(codec.SchemeDelta, params, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbRep SetBaseReply
+	if err := client.Call("Device.SetBase", SetBaseArgs{Edge: 0, ID: 77, Model: blob}, &sbRep); err != nil {
+		t.Fatal(err)
+	}
+	rep = TrainManyReply{}
+	if err := client.Call("Device.TrainMany", args, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasSum {
+		t.Fatal("TrainMany returned no update sum")
+	}
+	sum, err := codec.Decode(rep.Sum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum) != len(params) {
+		t.Fatalf("update sum has %d params, want %d", len(sum), len(params))
+	}
+	if len(rep.SqNorms) != 1 || len(rep.SqNorms[0]) != 1 {
+		t.Fatalf("sqNorms %v", rep.SqNorms)
 	}
 }

@@ -17,10 +17,37 @@
 //     aggregates edge models every T_g steps (Eq. 6), and redistributes the
 //     global model.
 //
-// The deployment produces the same algorithm as the in-process simulator;
-// an integration test trains the same tiny task both ways and checks that
-// the distributed run learns.
+// # Wire formats
+//
+// The cloud's CloudConfig.Codec selects the wire format for every model
+// transfer of the run (DESIGN.md §6). Under codec.SchemeRaw the protocol is
+// the legacy one: full float64 vectors ride in TrainArgs/TrainReply (one
+// pair per sampled device) and in every EdgeStepArgs/EdgeStepReply. Under
+// the codec schemes the vectors move as codec.Blob payloads and three
+// structural optimizations engage:
+//
+//   - baseline caching: Device.SetBase installs an edge's base model on a
+//     host once; Device.TrainMany then names it by ID for all of the host's
+//     sampled devices, eliminating the per-device duplicate upload;
+//   - host-side update sums: TrainMany returns the single summed update
+//     Σ(w_m − base) of its devices instead of per-device models, and when
+//     one host covers the edge's whole sample it advances the base in place
+//     so that no model bytes cross the wire at all (the edge recovers the
+//     bits later with Device.GetBase when it actually needs them);
+//   - on-demand edge models: EdgeStepReply carries the edge model only when
+//     the cloud asks (WantModel, at cloud rounds), and the cloud ships the
+//     global as a delta against the previous global it distributed.
+//
+// Both formats compute edge aggregation with the same float operations in
+// the same order (per-host partial sums of w_m − base in sampled order,
+// hosts reduced in sorted-address order, then base + Σ/|sample|), so a run
+// over the lossless delta path reproduces the raw path's evaluation history
+// bit for bit. The deployment produces the same algorithm as the in-process
+// simulator; an integration test trains the same tiny task both ways and
+// checks that the distributed run learns.
 package fed
+
+import "github.com/mach-fl/mach/internal/codec"
 
 // Hyper carries the local-update hyperparameters of Eq. (4) to devices.
 type Hyper struct {
@@ -42,7 +69,8 @@ type EstimateReply struct {
 }
 
 // TrainArgs asks one logical device to run local updating from the given
-// edge model parameters.
+// edge model parameters. It is the legacy (codec.SchemeRaw) training RPC:
+// every sampled device receives its own full copy of the edge base model.
 type TrainArgs struct {
 	Step   int
 	Device int
@@ -55,6 +83,61 @@ type TrainArgs struct {
 type TrainReply struct {
 	Params  []float64
 	SqNorms []float64
+}
+
+// SetBaseArgs installs an edge's base model on a device host under a
+// baseline ID (codec paths only). The blob is baseline-free; later
+// TrainMany calls and codec blobs reference the vector by ID.
+type SetBaseArgs struct {
+	Edge  int
+	ID    uint64
+	Model codec.Blob
+}
+
+// SetBaseReply is empty.
+type SetBaseReply struct{}
+
+// TrainManyArgs asks a device host to run local updating on all of the
+// edge's sampled devices it hosts, from the cached base model named by
+// BaseID. Devices lists them in the edge's sampled order, which fixes the
+// float summation order of the reply's update sum.
+type TrainManyArgs struct {
+	Step    int
+	Edge    int
+	Devices []int
+	BaseID  uint64
+	Scheme  codec.Scheme
+	Hyper   Hyper
+	// Advance, when set, tells the host this call covers the edge's entire
+	// sample for the step: the host computes the next base
+	// base + Σ(w_m − base)/|Devices| itself, installs it under NextID and
+	// drops BaseID, and the reply carries no update sum — no model bytes
+	// cross the wire.
+	Advance bool
+	NextID  uint64
+}
+
+// TrainManyReply returns the host's training results. Sum (present unless
+// the call advanced the base host-side) encodes Σ(w_m − base) over
+// args.Devices in order, baseline-free; SqNorms aligns with args.Devices.
+type TrainManyReply struct {
+	Sum     codec.Blob
+	HasSum  bool
+	SqNorms [][]float64
+}
+
+// GetBaseArgs fetches the bits of a cached base model back from a host
+// (always encoded lossless, whatever the run's scheme). Edges use it when
+// they let a host advance the base and later need the vector themselves —
+// to answer the cloud's WantModel or to seed a second host.
+type GetBaseArgs struct {
+	Edge int
+	ID   uint64
+}
+
+// GetBaseReply carries the requested base model.
+type GetBaseReply struct {
+	Model codec.Blob
 }
 
 // CloudRoundArgs tells device hosts an edge-to-cloud communication happened
@@ -78,19 +161,49 @@ type ClassDistReply struct {
 }
 
 // EdgeStepArgs asks an edge server to execute one time step for its edge.
+// Scheme selects the wire format for the whole step; the edge forwards it
+// to its device hosts.
 type EdgeStepArgs struct {
 	Step     int
 	Members  []int
 	Capacity float64
-	// Params, when non-nil, resets the edge model first (sent by the
-	// cloud after each global aggregation).
+	Scheme   codec.Scheme
+	// Params, when non-nil, resets the edge model first (legacy raw path:
+	// sent by the cloud after each global aggregation).
 	Params []float64
+	// Model/ModelID reset the edge model on the codec paths: the blob is
+	// encoded against the previous global the cloud distributed, and
+	// ModelID names the new global for the edge's reply baseline.
+	Model    codec.Blob
+	ModelID  uint64
+	HasModel bool
+	// WantModel asks the edge to return its model in the reply. The cloud
+	// sets it at cloud rounds; on the raw path the model is always returned.
+	WantModel bool
 }
 
-// EdgeStepReply returns the updated edge model and how many devices trained.
+// EdgeStepReply returns how many devices trained, plus the updated edge
+// model — always as Params on the raw path, as Model only when requested
+// on the codec paths (encoded against the global named by the last
+// EdgeStepArgs.ModelID).
 type EdgeStepReply struct {
-	Params  []float64
-	Sampled int
+	Params   []float64
+	Model    codec.Blob
+	HasModel bool
+	Sampled  int
+}
+
+// CommArgs asks a server for its measured communication counters.
+type CommArgs struct{}
+
+// CommReply carries measured wire bytes and model-transfer counts. For an
+// edge server, uplink is device-host→edge traffic and downlink the
+// reverse, and the transfer counts tally model-bearing messages.
+type CommReply struct {
+	UplinkBytes   int64
+	DownlinkBytes int64
+	Uploads       int64
+	Downloads     int64
 }
 
 // PingArgs/PingReply support liveness checks.

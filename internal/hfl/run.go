@@ -31,15 +31,26 @@ type Result struct {
 	Comm CommStats
 }
 
-// CommStats counts the model transfers of a run, valued at 8 bytes per
-// parameter (float64). Device downlink counts one edge-model download per
-// sampled device per step (Eq. 4's w^t_n distribution); device uplink one
-// local-model upload per successful participation (Eq. 5); cloud volume one
-// edge-model exchange per edge per cloud round, both directions (Eq. 6).
+// CommStats counts the model transfers of a run. The simulator fills it
+// analytically, valued at 8 bytes per parameter (float64): device downlink
+// counts one edge-model download per sampled device per step (Eq. 4's w^t_n
+// distribution); device uplink one local-model upload per successful
+// participation (Eq. 5); cloud volume one edge-model exchange per edge per
+// cloud round, both directions (Eq. 6). The distributed stack
+// (internal/fed) instead measures real wire bytes under net/rpc and sets
+// Measured.
 type CommStats struct {
 	DeviceUplinkBytes   int64
 	DeviceDownlinkBytes int64
 	CloudBytes          int64
+	// DeviceUploads/DeviceDownloads/CloudTransfers count the model-bearing
+	// messages behind the byte totals.
+	DeviceUploads   int64
+	DeviceDownloads int64
+	CloudTransfers  int64
+	// Measured reports that the byte counts were read off real connections
+	// rather than computed analytically.
+	Measured bool
 }
 
 // Total returns the run's total transferred bytes.
@@ -156,6 +167,8 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			stepSampled += counts.uploaded
 			res.Comm.DeviceDownlinkBytes += int64(counts.trained) * modelBytes
 			res.Comm.DeviceUplinkBytes += int64(counts.uploaded) * modelBytes
+			res.Comm.DeviceDownloads += int64(counts.trained)
+			res.Comm.DeviceUploads += int64(counts.uploaded)
 		}
 		res.SampledPerStep = append(res.SampledPerStep, stepSampled)
 		res.TotalSampled += stepSampled
@@ -169,6 +182,7 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			e.cloudAggregate(t)
 			// Every edge uploads its model and downloads the new global.
 			res.Comm.CloudBytes += 2 * int64(e.schedule.Edges) * modelBytes
+			res.Comm.CloudTransfers += 2 * int64(e.schedule.Edges)
 			if e.observer != nil {
 				e.observer.CloudRound(t + 1)
 			}

@@ -25,4 +25,7 @@ go test -race ./...
 echo "== go test -race -short (parallel engine determinism)"
 go test -race -short -run 'TestRunBitIdenticalAcrossWorkerCounts' ./internal/hfl
 
+echo "== go test -race -short (fed wire protocol + codec)"
+go test -race -short ./internal/fed/ ./internal/codec/
+
 echo "check: OK"
