@@ -23,7 +23,12 @@ bench-engine:
 bench-comm:
 	go run ./cmd/machbench -exp comm
 
+# Sampling control-plane scale benchmark: naive vs indexed decide across
+# device populations up to 100k; writes BENCH_scale.json in the repo root.
+bench-scale:
+	go run ./cmd/machbench -exp scale
+
 bench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check lint test race bench bench-engine bench-comm
+.PHONY: check lint test race bench bench-engine bench-comm bench-scale

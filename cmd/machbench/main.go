@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/mach-fl/mach/internal/bench"
@@ -53,9 +55,13 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | comm | all")
+		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | comm | scale | all")
 		task  = flag.String("task", "", "task: mnist | fmnist | cifar10 (default: all tasks)")
 		scale = flag.String("scale", "ci", "scale: ci | full")
+		quick = flag.Bool("quick", false, "use the seconds-scale smoke preset (scale experiment only)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		seed  = flag.Int64("seed", 1, "base random seed")
 		runs  = flag.Int("runs", 0, "override number of averaged runs (0 = preset)")
 		steps = flag.Int("steps", 0, "override step budget (0 = preset)")
@@ -83,6 +89,43 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "machbench: close cpu profile:", err)
+			}
+		}()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "machbench: create mem profile:", err)
+				return
+			}
+			runtime.GC() // material heap only
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "machbench: write mem profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "machbench: close mem profile:", err)
+			}
+		}()
+	}
+
+	if *exp == "scale" {
+		// The control-plane scale benchmark builds synthetic populations;
+		// task/scale flags don't apply.
+		return runScale(*outDir, *quick)
+	}
 	if *exp == "engine" {
 		// The engine micro-benchmark runs a frozen configuration so its
 		// numbers are comparable across commits; task/scale flags don't
@@ -316,6 +359,45 @@ func runEngine(outDir string) error {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	fmt.Printf("\n[engine bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
+	return nil
+}
+
+// runScale measures the sampling control plane at synthetic populations up
+// to 100k devices × 1k edges (naive vs indexed per cell) and writes
+// BENCH_scale.json next to the binary or into -out. -quick swaps in the
+// seconds-scale smoke preset.
+func runScale(outDir string, quick bool) error {
+	start := time.Now()
+	preset := bench.ScaleBenchPreset()
+	if quick {
+		preset = bench.ScaleBenchQuickPreset()
+	}
+	r, err := bench.RunScaleBench(preset)
+	if err != nil {
+		return err
+	}
+	if err := bench.RenderScaleBench(os.Stdout, r); err != nil {
+		return err
+	}
+	path := "BENCH_scale.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+		path = filepath.Join(outDir, path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	err = r.WriteScaleBenchJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("\n[scale bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
 	return nil
 }
 

@@ -1,0 +1,449 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"github.com/mach-fl/mach/internal/mobility"
+	"github.com/mach-fl/mach/internal/parallel"
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// ScaleCell is one population shape of the scale benchmark.
+type ScaleCell struct {
+	Devices int `json:"devices"`
+	Edges   int `json:"edges"`
+}
+
+// ScaleConfig parameterizes `machbench -exp scale`: a sampling-only workload
+// that runs the per-step control plane — membership, MACH probabilities,
+// sampling coins, experience updating — with gradient norms drawn from a
+// seeded synthetic generator instead of NN training, so the numbers isolate
+// control-plane throughput from the math kernels.
+type ScaleConfig struct {
+	// Cells are the (devices, edges) shapes measured; each gets a naive
+	// baseline row (pre-index control plane: per-edge MembersAt rescans,
+	// fresh RNGs and allocating sampling) and an indexed row (membership
+	// index, pooled decide state, in-place sampling, parallel decide).
+	Cells []ScaleCell `json:"cells"`
+	// Steps is the measured step count; WarmupSteps run first so pooled
+	// buffers reach steady state before allocation counters start.
+	Steps       int `json:"steps"`
+	WarmupSteps int `json:"warmup_steps"`
+	// CloudInterval is T_g, the experience-folding period (Algorithm 2).
+	CloudInterval int `json:"cloud_interval"`
+	// StayProb is the per-step edge stay probability of the Markov mobility
+	// model; 1-StayProb is the expected fraction of devices the index's
+	// delta path must repair each step.
+	StayProb float64 `json:"stay_prob"`
+	// Participation sets the per-edge capacity K_n =
+	// Participation·Devices/Edges, exactly as in the training engine.
+	Participation float64 `json:"participation"`
+	// Workers bounds the parallel decide of the indexed rows
+	// (0 = GOMAXPROCS). The naive baseline is serial, as the pre-index
+	// engine was.
+	Workers int   `json:"workers"`
+	Seed    int64 `json:"seed"`
+}
+
+// ScaleBenchPreset is the recorded sweep of BENCH_scale.json: device
+// populations 1k/10k/100k with proportional edge counts, an edge-count sweep
+// at 10k devices, and a city-scale headline cell (100k devices × 3k edges —
+// the Shanghai-Telecom trace the paper evaluates on has ~3k base stations)
+// where the naive control plane's O(Edges·Devices) rescan dominates.
+func ScaleBenchPreset() ScaleConfig {
+	return ScaleConfig{
+		Cells: []ScaleCell{
+			{Devices: 1_000, Edges: 10},
+			{Devices: 10_000, Edges: 10},
+			{Devices: 10_000, Edges: 100},
+			{Devices: 10_000, Edges: 1_000},
+			{Devices: 100_000, Edges: 1_000},
+			{Devices: 100_000, Edges: 3_000},
+		},
+		Steps:         30,
+		WarmupSteps:   5,
+		CloudInterval: 5,
+		StayProb:      0.9,
+		Participation: 0.1,
+		Seed:          1,
+	}
+}
+
+// ScaleBenchQuickPreset is a seconds-scale smoke configuration for CI.
+func ScaleBenchQuickPreset() ScaleConfig {
+	cfg := ScaleBenchPreset()
+	cfg.Cells = []ScaleCell{{Devices: 500, Edges: 5}, {Devices: 2_000, Edges: 20}}
+	cfg.Steps = 10
+	cfg.WarmupSteps = 2
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c ScaleConfig) Validate() error {
+	switch {
+	case len(c.Cells) == 0:
+		return fmt.Errorf("bench: scale config has no cells")
+	case c.Steps <= 0 || c.WarmupSteps < 0:
+		return fmt.Errorf("bench: scale steps %d/%d invalid", c.Steps, c.WarmupSteps)
+	case c.CloudInterval <= 0:
+		return fmt.Errorf("bench: scale cloud interval %d must be positive", c.CloudInterval)
+	case c.StayProb < 0 || c.StayProb > 1:
+		return fmt.Errorf("bench: scale stay probability %v outside [0,1]", c.StayProb)
+	case c.Participation <= 0 || c.Participation > 1:
+		return fmt.Errorf("bench: scale participation %v outside (0,1]", c.Participation)
+	case c.Workers < 0:
+		return fmt.Errorf("bench: scale workers %d negative", c.Workers)
+	}
+	for _, cell := range c.Cells {
+		if cell.Devices <= 0 || cell.Edges <= 0 {
+			return fmt.Errorf("bench: scale cell %d devices × %d edges invalid", cell.Devices, cell.Edges)
+		}
+	}
+	return nil
+}
+
+func (c ScaleConfig) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// ScaleBenchRow is one (cell, mode) measurement.
+type ScaleBenchRow struct {
+	Devices int `json:"devices"`
+	Edges   int `json:"edges"`
+	// Mode is "naive" (pre-index serial control plane) or "indexed"
+	// (membership index + pooled in-place sampling + parallel decide).
+	Mode          string  `json:"mode"`
+	StepsMeasured int     `json:"steps_measured"`
+	WallNs        int64   `json:"wall_ns"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	// NsPerDeviceDecision is WallNs / (steps × devices): the cost of
+	// deciding one device's participation for one step, the headline
+	// control-plane metric.
+	NsPerDeviceDecision float64 `json:"ns_per_device_decision"`
+	AllocsPerStep       float64 `json:"allocs_per_step"`
+	BytesPerStep        float64 `json:"bytes_per_step"`
+	// SampledPerStep is the mean number of devices sampled per step; naive
+	// and indexed rows of a cell must agree exactly (checked by the
+	// harness), since both replay the same RNG streams.
+	SampledPerStep float64 `json:"sampled_per_step"`
+	// SpeedupVsNaive is the cell's naive NsPerDeviceDecision over this
+	// row's (1 for the naive row itself).
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+// ScaleBenchResult is the payload of BENCH_scale.json.
+type ScaleBenchResult struct {
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Config     ScaleConfig     `json:"config"`
+	Rows       []ScaleBenchRow `json:"rows"`
+}
+
+// scaleMix reproduces the engine's FNV-style seed mixing so the benchmark's
+// per-edge RNG streams have the same structure as training runs.
+func scaleMix(parts ...int64) int64 {
+	h := int64(1469598103934665603)
+	for _, p := range parts {
+		h ^= p
+		h *= 1099511628211
+	}
+	return h
+}
+
+// synthNorm is the seeded synthetic gradient-norm generator: a hash of
+// (seed, step, device) mapped into [0.5, 1.5). It stands in for the squared
+// norms NN training would produce, with per-device, per-step variation and
+// no training cost.
+func synthNorm(seed int64, t, m int) float64 {
+	h := uint64(scaleMix(seed, int64(t)+17, int64(m)+1_000_003))
+	return 0.5 + float64(h>>11)/float64(1<<53)
+}
+
+// coinRNG is the benchmark's sampling-coin stream: splitmix64 over a
+// one-word state. Both modes seed it identically per edge per step, so the
+// naive/indexed divergence check stays meaningful. A cheap stream is
+// deliberate — math/rand's Seed re-expands a 607-word feedback register
+// (~10µs), a per-edge constant both control planes would pay equally; at
+// thousands of edges it would dominate the step and mask the rescan and
+// allocation costs this benchmark isolates. The training engine keeps its
+// math/rand streams for bit-identity with recorded runs; here only
+// naive-vs-indexed equality matters.
+type coinRNG uint64
+
+// Float64 returns the next coin in [0, 1).
+func (r *coinRNG) Float64() float64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// scaleDecideState is one edge's pooled control-plane machinery in the
+// indexed mode, mirroring hfl's edgeDecideState.
+type scaleDecideState struct {
+	coin    coinRNG
+	ctx     sampling.EdgeContext
+	probs   []float64
+	normBuf [1]float64
+	sampled int64 // devices sampled by this edge in the current step
+}
+
+// scaleEngine runs the sampling-only control plane over a synthetic Markov
+// schedule: per step it computes MACH probabilities for every edge, draws
+// the sampling coins in member order from per-edge coinRNG streams, and
+// feeds synthetic gradient norms of the sampled devices back into the
+// experience book. No models exist; everything measured is control plane.
+type scaleEngine struct {
+	cfg      ScaleConfig
+	sched    *mobility.Schedule
+	index    *mobility.MemberIndex
+	strat    *sampling.MACH
+	capacity float64
+	decide   []scaleDecideState
+}
+
+func newScaleEngine(cfg ScaleConfig, cell ScaleCell, steps int) (*scaleEngine, error) {
+	sched, err := mobility.GenerateMarkovSchedule(cfg.Seed, cell.Edges, cell.Devices, steps, cfg.StayProb)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := sampling.NewMACH(cell.Devices, sampling.DefaultMACHConfig())
+	if err != nil {
+		return nil, err
+	}
+	// Pre-warm every device with one folded observation, as a long-running
+	// training would have: the measured window then exercises the steady
+	// state (estimates from history, experience buffers at capacity) instead
+	// of the cold-start transient of first-time buffer growth. Both modes
+	// pre-warm identically, so their RNG-replay equality is unaffected.
+	warm := make([]float64, 4) // window-sized: caps cover repeat samples
+	for m := 0; m < cell.Devices; m++ {
+		for i := range warm {
+			warm[i] = synthNorm(cfg.Seed, -1-i, m)
+		}
+		strat.Observe(0, 0, m, warm)
+	}
+	strat.CloudRound(0)
+	eng := &scaleEngine{
+		cfg:      cfg,
+		sched:    sched,
+		index:    mobility.NewMemberIndex(sched),
+		strat:    strat,
+		capacity: cfg.Participation * float64(cell.Devices) / float64(cell.Edges),
+		decide:   make([]scaleDecideState, cell.Edges),
+	}
+	// Pre-size per-edge buffers past any member count the drift will
+	// plausibly reach (binomial mean + 8σ), so the measured window never
+	// regrows them as edges hit new population maxima.
+	mean := float64(cell.Devices) / float64(cell.Edges)
+	capHint := int(mean+8*math.Sqrt(mean)) + 16
+	for n := range eng.decide {
+		st := &eng.decide[n]
+		st.probs = make([]float64, 0, capHint)
+		st.ctx.Scratch = make([]float64, 0, capHint)
+	}
+	return eng, nil
+}
+
+// stepIndexed runs one step of the optimized control plane: one index
+// advance, then a parallel decide over edges with pooled RNGs, contexts and
+// in-place probabilities. Draw order within an edge is serial and identical
+// to stepNaive, so the sampled sets match bit for bit.
+func (e *scaleEngine) stepIndexed(t, workers int) int64 {
+	e.index.Advance(t)
+	parallel.ForEach(workers, len(e.decide), func(n int) {
+		st := &e.decide[n]
+		st.sampled = 0
+		members := e.index.Members(n)
+		if len(members) == 0 {
+			return
+		}
+		st.ctx.Edge = n
+		st.ctx.Capacity = e.capacity
+		st.coin = coinRNG(scaleMix(e.cfg.Seed, int64(t)+1, int64(n)+101))
+		st.ctx.Step = t
+		st.ctx.Members = members
+		st.probs = e.strat.ProbabilitiesInto(&st.ctx, st.probs)
+		for i, m := range members {
+			if st.coin.Float64() >= st.probs[i] {
+				continue
+			}
+			st.sampled++
+			st.normBuf[0] = synthNorm(e.cfg.Seed, t, m)
+			e.strat.Observe(t, n, m, st.normBuf[:])
+		}
+	})
+	total := int64(0)
+	for n := range e.decide {
+		total += e.decide[n].sampled
+	}
+	e.cloudRound(t)
+	return total
+}
+
+// stepNaive replays the pre-index control plane's structure: a serial loop
+// over edges, a full MembersAt rescan per edge, a freshly allocated context,
+// an allocating Probabilities call, and per-observation slice allocation. It
+// is the baseline row of BENCH_scale.json. (The coin stream is the same
+// cheap coinRNG the indexed mode uses — see its doc comment.)
+func (e *scaleEngine) stepNaive(t int) int64 {
+	total := int64(0)
+	for n := 0; n < e.sched.Edges; n++ {
+		members := e.sched.MembersAt(t, n)
+		if len(members) == 0 {
+			continue
+		}
+		coin := coinRNG(scaleMix(e.cfg.Seed, int64(t)+1, int64(n)+101))
+		ctx := &sampling.EdgeContext{
+			Step:     t,
+			Edge:     n,
+			Capacity: e.capacity,
+			Members:  members,
+		}
+		probs := e.strat.Probabilities(ctx)
+		for i, m := range members {
+			if coin.Float64() >= probs[i] {
+				continue
+			}
+			total++
+			e.strat.Observe(t, n, m, []float64{synthNorm(e.cfg.Seed, t, m)})
+		}
+	}
+	e.cloudRound(t)
+	return total
+}
+
+func (e *scaleEngine) cloudRound(t int) {
+	if (t+1)%e.cfg.CloudInterval == 0 {
+		e.strat.CloudRound(t + 1)
+	}
+}
+
+// measureScaleCell runs one (cell, mode) measurement: warm-up steps grow
+// every pooled buffer, then the measured window is timed between two
+// MemStats snapshots.
+func measureScaleCell(cfg ScaleConfig, cell ScaleCell, indexed bool) (ScaleBenchRow, int64, error) {
+	totalSteps := cfg.WarmupSteps + cfg.Steps
+	eng, err := newScaleEngine(cfg, cell, totalSteps)
+	if err != nil {
+		return ScaleBenchRow{}, 0, err
+	}
+	mode := "naive"
+	if indexed {
+		mode = "indexed"
+	}
+	workers := cfg.workers()
+	step := func(t int) int64 {
+		if indexed {
+			return eng.stepIndexed(t, workers)
+		}
+		return eng.stepNaive(t)
+	}
+	for t := 0; t < cfg.WarmupSteps; t++ {
+		step(t)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	sampled := int64(0)
+	for t := cfg.WarmupSteps; t < totalSteps; t++ {
+		sampled += step(t)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	row := ScaleBenchRow{
+		Devices:             cell.Devices,
+		Edges:               cell.Edges,
+		Mode:                mode,
+		StepsMeasured:       cfg.Steps,
+		WallNs:              wall.Nanoseconds(),
+		StepsPerSec:         float64(cfg.Steps) / wall.Seconds(),
+		NsPerDeviceDecision: float64(wall.Nanoseconds()) / (float64(cfg.Steps) * float64(cell.Devices)),
+		AllocsPerStep:       float64(after.Mallocs-before.Mallocs) / float64(cfg.Steps),
+		BytesPerStep:        float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Steps),
+		SampledPerStep:      float64(sampled) / float64(cfg.Steps),
+	}
+	return row, sampled, nil
+}
+
+// RunScaleBench measures every cell in both modes. Beyond timing, it is an
+// end-to-end determinism check: the naive and indexed modes must sample
+// exactly the same number of devices in the measured window, since they
+// replay the same per-edge coin streams over the same schedule.
+func RunScaleBench(cfg ScaleConfig) (*ScaleBenchResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &ScaleBenchResult{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+	}
+	for _, cell := range cfg.Cells {
+		naive, naiveSampled, err := measureScaleCell(cfg, cell, false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale %d×%d naive: %w", cell.Devices, cell.Edges, err)
+		}
+		naive.SpeedupVsNaive = 1
+		indexed, indexedSampled, err := measureScaleCell(cfg, cell, true)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale %d×%d indexed: %w", cell.Devices, cell.Edges, err)
+		}
+		if naiveSampled != indexedSampled {
+			return nil, fmt.Errorf("bench: scale %d×%d: naive sampled %d devices, indexed %d — control planes diverged",
+				cell.Devices, cell.Edges, naiveSampled, indexedSampled)
+		}
+		if indexed.NsPerDeviceDecision > 0 {
+			indexed.SpeedupVsNaive = naive.NsPerDeviceDecision / indexed.NsPerDeviceDecision
+		}
+		res.Rows = append(res.Rows, naive, indexed)
+	}
+	return res, nil
+}
+
+// WriteScaleBenchJSON writes the result as indented JSON.
+func (r *ScaleBenchResult) WriteScaleBenchJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderScaleBench prints the result as a text table.
+func RenderScaleBench(w io.Writer, r *ScaleBenchResult) error {
+	if _, err := fmt.Fprintf(w, "Sampling control-plane scale benchmark — %s/%s, %d CPU (GOMAXPROCS=%d)\n",
+		r.GOOS, r.GOARCH, r.NumCPU, r.GOMAXPROCS); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "config: steps=%d warmup=%d tg=%d stay=%.2f participation=%.2f workers=%d\n\n",
+		r.Config.Steps, r.Config.WarmupSteps, r.Config.CloudInterval, r.Config.StayProb,
+		r.Config.Participation, r.Config.workers()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%9s %6s %8s %10s %12s %13s %14s %12s %9s\n",
+		"devices", "edges", "mode", "steps/s", "ns/dev-dec", "allocs/step", "bytes/step", "sampled/step", "speedup"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%9d %6d %8s %10.1f %12.1f %13.1f %14.0f %12.1f %8.1fx\n",
+			row.Devices, row.Edges, row.Mode, row.StepsPerSec, row.NsPerDeviceDecision,
+			row.AllocsPerStep, row.BytesPerStep, row.SampledPerStep, row.SpeedupVsNaive); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -53,9 +53,13 @@ func (c CloudConfig) Validate() error {
 type Cloud struct {
 	cfg      CloudConfig
 	schedule *mobility.Schedule
-	test     *dataset.Dataset
-	evalNet  *nn.Network
-	global   []float64
+	// memberIndex materializes every edge's member set once per step
+	// (O(Devices+Edges), delta-updated between consecutive steps) instead of
+	// rescanning the schedule per edge.
+	memberIndex *mobility.MemberIndex
+	test        *dataset.Dataset
+	evalNet     *nn.Network
+	global      []float64
 
 	// prevView/prevID track the last global the cloud distributed, exactly
 	// as the edges decoded it (for lossless schemes that is c.global
@@ -101,11 +105,12 @@ func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, schedule *mobility.Schedule, t
 		return nil, fmt.Errorf("fed: build global model: %w", err)
 	}
 	c := &Cloud{
-		cfg:      cfg,
-		schedule: schedule,
-		test:     test,
-		evalNet:  net0,
-		global:   net0.ParamVector(),
+		cfg:         cfg,
+		schedule:    schedule,
+		memberIndex: mobility.NewMemberIndex(schedule),
+		test:        test,
+		evalNet:     net0,
+		global:      net0.ParamVector(),
 	}
 	for _, addr := range edgeAddrs {
 		cl, err := dialCounting(addr, &c.comm, &c.comm)
@@ -186,6 +191,10 @@ func (c *Cloud) Run() (*metrics.History, error) {
 				return nil, fmt.Errorf("fed: step %d encode global: %w", t, err)
 			}
 		}
+		// The index's member slices stay valid until the next Advance, which
+		// happens strictly after wg.Wait — net/rpc encodes args inside each
+		// goroutine — so they are safe to hand to the RPC layer uncopied.
+		c.memberIndex.Advance(t)
 		var wg sync.WaitGroup
 		errs := make([]error, c.schedule.Edges)
 		for n := range c.edges {
@@ -194,7 +203,7 @@ func (c *Cloud) Run() (*metrics.History, error) {
 				defer wg.Done()
 				args := EdgeStepArgs{
 					Step:      t,
-					Members:   c.schedule.MembersAt(t, n),
+					Members:   c.memberIndex.Members(n),
 					Capacity:  capacity,
 					Scheme:    c.cfg.Codec,
 					WantModel: cloudRound && !raw,
@@ -313,10 +322,11 @@ func (c *Cloud) decodeEdgeModel(blob codec.Blob) ([]float64, error) {
 
 // aggregate merges edge models with the member-count weights of Eq. (6).
 func (c *Cloud) aggregate(t int, edgeParams [][]float64) {
+	c.memberIndex.Advance(t) // no-op inside Run, which already advanced to t
 	total := 0
 	counts := make([]int, c.schedule.Edges)
 	for n := range counts {
-		counts[n] = len(c.schedule.MembersAt(t, n))
+		counts[n] = c.memberIndex.Count(n)
 		total += counts[n]
 	}
 	next := make([]float64, len(c.global))

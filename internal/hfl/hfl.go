@@ -6,13 +6,13 @@
 // the realized indicator B^t_{n,m} — so every edge trains on a different,
 // time-varying device set.
 //
-// Each time step splits into a sequential decision phase — strategy
-// probabilities and every Bernoulli coin drawn from per-edge RNG streams in
-// member order — and a parallel execution phase that dispatches the sampled
-// devices' local SGD to a bounded worker pool shared across edges.
-// Aggregation then reduces uploads back in member order, so runs are
-// bit-identical for every worker count (see DESIGN.md, "Concurrency &
-// determinism model").
+// Each time step splits into a decision phase — strategy probabilities and
+// every Bernoulli coin drawn from per-edge RNG streams in member order, with
+// independent edges deciding in parallel — and a parallel execution phase
+// that dispatches the sampled devices' local SGD to a bounded worker pool
+// shared across edges. Aggregation then reduces uploads back in member
+// order, so runs are bit-identical for every worker count (see DESIGN.md,
+// "Concurrency & determinism model" and "Scale model").
 package hfl
 
 import (
@@ -20,6 +20,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/mobility"
@@ -231,7 +232,8 @@ type Engine struct {
 	arch     ArchFunc
 	schedule *mobility.Schedule
 	strategy sampling.Strategy
-	observer sampling.Observer // strategy's Observer side, when implemented
+	inplace  sampling.InPlaceStrategy // strategy's fast path, when implemented
+	observer sampling.Observer        // strategy's Observer side, when implemented
 	devices  []*device
 	test     *dataset.Dataset
 
@@ -239,23 +241,44 @@ type Engine struct {
 	edge     [][]float64 // edge model parameters w^t_n
 	evalNet  *nn.Network
 	probeNet *nn.Network
-	capacity float64 // K_n, identical across edges as in the paper
+	probeOpt *nn.SGD    // zero-step optimizer: probing measures gradients only
+	probeMu  sync.Mutex // probeNet/probeOpt are shared across deciding edges
+	capacity float64    // K_n, identical across edges as in the paper
+
+	// memberIndex materializes M^t_n for every edge in one O(Devices+Edges)
+	// pass per step, replacing the per-edge MembersAt rescans of the decide
+	// and cloud-aggregation loops.
+	memberIndex *mobility.MemberIndex
 
 	// pool executes per-device local updates and evaluation shards while a
 	// Run is active; nil otherwise (standalone evaluation falls back to
 	// transient goroutines).
 	pool *parallel.Pool
 
-	// Steady-state scratch. All of it is touched only from the sequential
-	// phases of a step (decide / finalize / aggregate), never from pool
-	// workers.
-	plans       []edgePlan    // per-edge decision-phase output
-	aggResults  []localResult // per-edge upload list, rebuilt in member order
-	aggNext     [][]float64   // per-edge aggregation double-buffer
-	cloudNext   []float64     // cloud aggregation double-buffer
-	cloudCounts []int         // per-edge member counts of the cloud round
-	evalIdx     []int         // evaluation sample indices
+	// Steady-state scratch. plans and aggResults are touched only from the
+	// sequential finalize phase and from edgeDecide, which runs at most one
+	// goroutine per edge; decide[n] and decideErrs[n] are private to edge
+	// n's decide goroutine within a step.
+	plans       []edgePlan        // per-edge decision-phase output
+	decide      []edgeDecideState // per-edge pooled RNG + context + buffers
+	decideErrs  []error           // per-edge decide outcome, checked in edge order
+	aggResults  []localResult     // per-edge upload list, rebuilt in member order
+	aggNext     [][]float64       // per-edge aggregation double-buffer
+	cloudNext   []float64         // cloud aggregation double-buffer
+	cloudCounts []int             // per-edge member counts of the cloud round
+	evalIdx     []int             // evaluation sample indices
 	evalShard   []evalShardState
+}
+
+// edgeDecideState is one edge's pooled decision-phase machinery: a reusable
+// RNG reseeded to the edge's per-step stream, the strategy context (with its
+// scratch buffer), and the probability output buffer. Pooling them removes
+// the per-step rand.New/EdgeContext/probability allocations from the hot
+// control path.
+type edgeDecideState struct {
+	rng   *rand.Rand
+	ctx   sampling.EdgeContext
+	probs []float64
 }
 
 // evalShardState is one evaluation shard's private network and batch
@@ -299,19 +322,24 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 		return nil, fmt.Errorf("hfl: build architecture: %w", err)
 	}
 	e := &Engine{
-		cfg:      cfg,
-		arch:     arch,
-		schedule: schedule,
-		strategy: strategy,
-		devices:  make([]*device, len(deviceData)),
-		test:     test,
-		global:   base.ParamVector(),
-		evalNet:  base,
-		probeNet: base.Clone(),
-		capacity: cfg.Participation * float64(schedule.Devices) / float64(schedule.Edges),
+		cfg:         cfg,
+		arch:        arch,
+		schedule:    schedule,
+		strategy:    strategy,
+		devices:     make([]*device, len(deviceData)),
+		test:        test,
+		global:      base.ParamVector(),
+		evalNet:     base,
+		probeNet:    base.Clone(),
+		probeOpt:    nn.NewSGD(0),
+		capacity:    cfg.Participation * float64(schedule.Devices) / float64(schedule.Edges),
+		memberIndex: mobility.NewMemberIndex(schedule),
 	}
 	if obs, ok := strategy.(sampling.Observer); ok {
 		e.observer = obs
+	}
+	if ip, ok := strategy.(sampling.InPlaceStrategy); ok {
+		e.inplace = ip
 	}
 	for m, data := range deviceData {
 		if data == nil || data.Len() == 0 {
@@ -331,6 +359,8 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 		e.edge[n] = append([]float64(nil), e.global...)
 	}
 	e.plans = make([]edgePlan, schedule.Edges)
+	e.decide = make([]edgeDecideState, schedule.Edges)
+	e.decideErrs = make([]error, schedule.Edges)
 	e.aggNext = make([][]float64, schedule.Edges)
 	return e, nil
 }

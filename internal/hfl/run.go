@@ -6,9 +6,7 @@ import (
 
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/metrics"
-	"github.com/mach-fl/mach/internal/nn"
 	"github.com/mach-fl/mach/internal/parallel"
-	"github.com/mach-fl/mach/internal/sampling"
 	"github.com/mach-fl/mach/internal/tensor"
 )
 
@@ -109,9 +107,11 @@ type edgePlan struct {
 
 // Run executes Algorithm 1 and returns the training history.
 //
-// Every time step runs in three phases: a sequential *decision* phase draws
-// all of the step's randomness (strategy probabilities, sampling coins,
-// upload-failure coins) from the per-edge RNG streams in member order; a
+// Every time step runs in three phases: a *decision* phase draws all of the
+// step's randomness (strategy probabilities, sampling coins, upload-failure
+// coins) from the per-edge RNG streams in member order — edges decide in
+// parallel on the pool, which is safe because each edge's stream, context
+// and plan are private to it and every draw within an edge stays serial; a
 // parallel *execution* phase dispatches the sampled devices' local SGD to a
 // bounded worker pool shared across edges; a sequential *finalize* phase
 // observes experiences and aggregates uploads back in member order. Because
@@ -123,7 +123,6 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 		opt(&o)
 	}
 	res := &Result{History: &metrics.History{}}
-	probeOpt := nn.NewSGD(0) // zero step: probing measures gradients only
 
 	e.pool = parallel.NewPool(e.cfg.workers())
 	defer func() {
@@ -133,9 +132,17 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 
 	modelBytes := int64(len(e.global)) * 8
 	for t := 0; t < e.cfg.Steps; t++ {
-		// Decision phase: owns every RNG draw of the step.
+		// Decision phase: owns every RNG draw of the step. The membership
+		// index positions once per step (O(Devices+Edges), delta-updated),
+		// then independent edges decide concurrently.
+		e.memberIndex.Advance(t)
+		dg := e.pool.Group()
 		for n := 0; n < e.schedule.Edges; n++ {
-			if err := e.edgeDecide(t, n, probeOpt); err != nil {
+			dg.Go(func() { e.decideErrs[n] = e.edgeDecide(t, n) })
+		}
+		dg.Wait()
+		for n, err := range e.decideErrs {
+			if err != nil {
 				return nil, fmt.Errorf("hfl: step %d edge %d: %w", t, n, err)
 			}
 		}
@@ -230,42 +237,57 @@ type edgeStepCounts struct {
 // positive failure probability — one upload-failure coin. Local updates never
 // touch this stream, so pulling the failure coin forward from the serial
 // post-training position leaves every draw at the same stream offset.
-func (e *Engine) edgeDecide(t, n int, probeOpt *nn.SGD) error {
+//
+// All per-step machinery is pooled in e.decide[n]: the RNG is reseeded to
+// the same mix(seed, t, n) stream a fresh rand.New would start (Seed resets
+// the source to exactly the NewSource state), the context and its closures
+// are built once per edge, and probabilities land in a reused buffer when
+// the strategy implements the in-place fast path. Distinct edges may decide
+// concurrently; everything mutated here is private to edge n.
+func (e *Engine) edgeDecide(t, n int) error {
 	plan := &e.plans[n]
 	plan.devs = plan.devs[:0]
-	members := e.schedule.MembersAt(t, n)
+	members := e.memberIndex.Members(n)
 	if len(members) == 0 {
 		return nil
 	}
-	edgeRNG := rand.New(rand.NewSource(mix(e.cfg.Seed, int64(t)+1, int64(n)+101)))
-	ctx := &sampling.EdgeContext{
-		Step:     t,
-		Edge:     n,
-		Capacity: e.capacity,
-		Members:  members,
-		RNG:      edgeRNG,
-		ClassDist: func(m int) []float64 {
+	st := &e.decide[n]
+	if st.rng == nil {
+		st.rng = rand.New(rand.NewSource(1))
+		st.ctx.Edge = n
+		st.ctx.Capacity = e.capacity
+		st.ctx.RNG = st.rng
+		st.ctx.ClassDist = func(m int) []float64 {
 			return e.devices[m].dist
-		},
-		ProbeGradNorm: func(m int) float64 {
-			return e.probeGradNorm(e.probeNet, probeOpt, t, n, m)
-		},
+		}
+		st.ctx.ProbeGradNorm = func(m int) float64 {
+			return e.probeGradNorm(st.ctx.Step, n, m)
+		}
 	}
-	probs := e.strategy.Probabilities(ctx)
+	st.rng.Seed(mix(e.cfg.Seed, int64(t)+1, int64(n)+101))
+	st.ctx.Step = t
+	st.ctx.Members = members
+	var probs []float64
+	if e.inplace != nil {
+		st.probs = e.inplace.ProbabilitiesInto(&st.ctx, st.probs)
+		probs = st.probs
+	} else {
+		probs = e.strategy.Probabilities(&st.ctx)
+	}
 	if len(probs) != len(members) {
 		return fmt.Errorf("strategy %q returned %d probabilities for %d members", e.strategy.Name(), len(probs), len(members))
 	}
 	unbiased := e.strategy.Unbiased()
 	for i, m := range members {
 		q := probs[i]
-		if edgeRNG.Float64() >= q {
+		if st.rng.Float64() >= q {
 			continue // not sampled: 1^t_{m,n} = 0
 		}
 		if unbiased && q <= 0 {
 			return fmt.Errorf("strategy %q sampled device %d with probability %v", e.strategy.Name(), m, q)
 		}
 		upload := true
-		if e.cfg.UploadFailureProb > 0 && edgeRNG.Float64() < e.cfg.UploadFailureProb {
+		if e.cfg.UploadFailureProb > 0 && st.rng.Float64() < e.cfg.UploadFailureProb {
 			upload = false // device moved away before uploading (see Config)
 		}
 		weight := 1.0
@@ -398,9 +420,12 @@ func (e *Engine) cloudAggregate(t int) {
 	if e.cloudCounts == nil {
 		e.cloudCounts = make([]int, e.schedule.Edges)
 	}
+	// Within Run the index is already positioned at t (decide advanced it);
+	// direct callers (tests) get the same counts via an explicit Advance.
+	e.memberIndex.Advance(t)
 	total := 0
 	for n := range e.cloudCounts {
-		e.cloudCounts[n] = len(e.schedule.MembersAt(t, n))
+		e.cloudCounts[n] = e.memberIndex.Count(n)
 		total += e.cloudCounts[n]
 	}
 	next := e.cloudNext
@@ -429,9 +454,14 @@ func (e *Engine) cloudAggregate(t int) {
 
 // probeGradNorm measures the true squared stochastic-gradient norm of device
 // m under edge n's current model, without updating any state (used by
-// MACH-P).
-func (e *Engine) probeGradNorm(probeNet *nn.Network, probeOpt *nn.SGD, t, n, m int) float64 {
-	if err := probeNet.SetParamVector(e.edge[n]); err != nil {
+// MACH-P). The shared probe network is mutex-guarded because edges decide in
+// parallel; the value is deterministic regardless of interleaving — the
+// probed model, batch and optimizer depend only on (seed, t, n, m), and a
+// device is attached to exactly one edge per step.
+func (e *Engine) probeGradNorm(t, n, m int) float64 {
+	e.probeMu.Lock()
+	defer e.probeMu.Unlock()
+	if err := e.probeNet.SetParamVector(e.edge[n]); err != nil {
 		// The strategy callback has no error channel, and a length mismatch
 		// here means the engine's networks are wired wrong — fail loudly
 		// instead of silently scoring the device as zero.
@@ -439,7 +469,7 @@ func (e *Engine) probeGradNorm(probeNet *nn.Network, probeOpt *nn.SGD, t, n, m i
 	}
 	rng := rand.New(rand.NewSource(mix(e.cfg.Seed, int64(t)+7, int64(m)+301)))
 	x, y := e.devices[m].data.RandomBatch(rng, e.cfg.BatchSize)
-	_, gn := probeNet.TrainStep(x, y, probeOpt)
+	_, gn := e.probeNet.TrainStep(x, y, e.probeOpt)
 	return gn
 }
 

@@ -261,5 +261,5 @@ func TestProbeGradNormPanicsWithContext(t *testing.T) {
 			t.Fatalf("panic lacks context: %v", r)
 		}
 	}()
-	eng.probeGradNorm(eng.probeNet, nil, 0, 0, 0)
+	eng.probeGradNorm(0, 0, 0)
 }

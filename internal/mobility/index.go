@@ -1,0 +1,148 @@
+package mobility
+
+import "sort"
+
+// MemberIndex is a per-step membership index over a Schedule: it materializes
+// M^t_n for every edge at once, so per-step control logic reads edge members
+// in O(1) per edge instead of rescanning all devices per edge. A full build
+// is a counting pass over the step's device row — O(Devices + Edges) — into
+// pooled per-edge buffers, so steady-state positioning allocates nothing.
+//
+// Consecutive steps take an incremental delta path exploiting the trace's
+// spatial locality: only the devices whose edge actually changed are removed
+// from their old edge list and inserted into their new one, keeping every
+// list in ascending device order. Each repair shifts O(Devices/Edges)
+// elements, so once a step moves more than about half the edge count the
+// counting rebuild is cheaper and the index falls back to it, bounding the
+// worst case at the full-build cost.
+//
+// Member lists are ascending in device ID — exactly the order
+// Schedule.MembersAt returns — so decision logic that walks members in order
+// draws its randomness at the same stream offsets as the naive scan.
+//
+// A MemberIndex is not safe for concurrent mutation: Advance must be called
+// from one goroutine, but any number of goroutines may call Members/Count
+// between Advances (the per-step parallel decide phase does exactly that).
+type MemberIndex struct {
+	s    *Schedule
+	step int // current step, -1 before the first Advance
+
+	members [][]int // members[n]: devices on edge n at the current step, ascending
+	counts  []int   // counting-pass scratch, one cell per edge
+	moved   []int   // delta-pass scratch: devices whose edge changed
+}
+
+// Delta advances rebuild from scratch once more than Edges/deltaRebuildDen
+// devices moved in one step. A moved device costs an O(list length) sorted
+// remove + insert — about 2·Devices/Edges element moves — while the counting
+// rebuild costs O(Devices) flat, so repair wins only while
+// moved · 2·Devices/Edges < Devices, i.e. moved < Edges/2.
+const deltaRebuildDen = 2
+
+// NewMemberIndex returns an index over s, positioned at no step. Call
+// Advance before reading members.
+func NewMemberIndex(s *Schedule) *MemberIndex {
+	return &MemberIndex{
+		s:       s,
+		step:    -1,
+		members: make([][]int, s.Edges),
+		counts:  make([]int, s.Edges),
+	}
+}
+
+// Step returns the step the index is positioned at, or -1 before the first
+// Advance.
+func (ix *MemberIndex) Step() int { return ix.step }
+
+// Members returns M^t_n for the current step, ascending in device ID. The
+// slice is owned by the index and valid until the next Advance; callers must
+// not mutate or retain it across Advances.
+func (ix *MemberIndex) Members(n int) []int { return ix.members[n] }
+
+// Count returns |M^t_n| for the current step.
+func (ix *MemberIndex) Count(n int) int { return len(ix.members[n]) }
+
+// Advance positions the index at step t. Advancing to the current step is a
+// no-op; advancing by exactly one step takes the incremental delta path when
+// few devices moved; any other jump rebuilds by counting sort.
+func (ix *MemberIndex) Advance(t int) {
+	switch {
+	case t == ix.step:
+		return
+	case ix.step >= 0 && t == ix.step+1 && ix.advanceDelta(t):
+		return
+	default:
+		ix.rebuild(t)
+	}
+}
+
+// rebuild builds the member lists for step t by counting sort: one pass
+// sizes each edge's list, a second fills them in ascending device order.
+func (ix *MemberIndex) rebuild(t int) {
+	row := ix.s.edgeOf[t]
+	counts := ix.counts
+	for n := range counts {
+		counts[n] = 0
+	}
+	for _, e := range row {
+		counts[e]++
+	}
+	for n := range ix.members {
+		if cap(ix.members[n]) < counts[n] {
+			// Grow with slack: edge populations drift up and down, and
+			// allocating to the exact count would realloc every time an edge
+			// hits a new maximum.
+			ix.members[n] = make([]int, 0, counts[n]+counts[n]/8+4)
+		} else {
+			ix.members[n] = ix.members[n][:0]
+		}
+	}
+	for m, e := range row {
+		ix.members[e] = append(ix.members[e], m)
+	}
+	ix.step = t
+}
+
+// advanceDelta repairs the member lists from step t-1 to step t, touching
+// only the devices that changed edges. It reports false — leaving the index
+// unchanged — when the step moved too many devices for a repair to beat a
+// rebuild.
+func (ix *MemberIndex) advanceDelta(t int) bool {
+	prev, cur := ix.s.edgeOf[t-1], ix.s.edgeOf[t]
+	limit := ix.s.Edges / deltaRebuildDen
+	moved := ix.moved[:0]
+	for m := range cur {
+		if cur[m] != prev[m] {
+			if len(moved) >= limit {
+				ix.moved = moved
+				return false
+			}
+			moved = append(moved, m)
+		}
+	}
+	ix.moved = moved
+	for _, m := range moved {
+		ix.members[prev[m]] = removeSorted(ix.members[prev[m]], m)
+	}
+	for _, m := range moved {
+		ix.members[cur[m]] = insertSorted(ix.members[cur[m]], m)
+	}
+	ix.step = t
+	return true
+}
+
+// removeSorted deletes v from an ascending slice that contains it.
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// insertSorted inserts v into an ascending slice that does not contain it.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

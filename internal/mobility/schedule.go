@@ -38,14 +38,24 @@ func (s *Schedule) Set(t, m, n int) {
 func (s *Schedule) EdgeOf(t, m int) int { return s.edgeOf[t][m] }
 
 // MembersAt returns M^t_n, the devices attached to edge n at step t.
+// It allocates a fresh slice per call and rescans every device; per-step
+// control loops should use a MemberIndex (all edges in one O(Devices+Edges)
+// pass) or MembersAtInto (caller-owned buffer) instead.
 func (s *Schedule) MembersAt(t, n int) []int {
-	var out []int
+	return s.MembersAtInto(nil, t, n)
+}
+
+// MembersAtInto appends the devices attached to edge n at step t to dst[:0]
+// and returns it, growing dst only when its capacity is insufficient. Device
+// IDs are ascending, matching MembersAt.
+func (s *Schedule) MembersAtInto(dst []int, t, n int) []int {
+	dst = dst[:0]
 	for m, e := range s.edgeOf[t] {
 		if e == n {
-			out = append(out, m)
+			dst = append(dst, m)
 		}
 	}
-	return out
+	return dst
 }
 
 // Validate checks the partition property (Eq. 1): every device is attached
@@ -173,6 +183,41 @@ func BuildSchedule(trace *Trace, edgeOfStation []int, edges, devices, steps int,
 // builds the schedule, all from a single seed.
 func GenerateSchedule(seed int64, edges, devices, steps, stationsPerEdge int) (*Schedule, error) {
 	return GenerateScheduleWaypoint(seed, edges, devices, steps, stationsPerEdge, DefaultWaypoint())
+}
+
+// GenerateMarkovSchedule builds a schedule directly from an edge-level
+// stay/hop Markov chain: every device starts on a uniformly random edge and
+// at each step stays with probability stayProb or hops to a uniformly random
+// other edge. It skips the station/trace layer entirely — O(Devices·Steps)
+// with no geometry — so it scales to the 100k-device populations of the
+// scale benchmark, and stayProb directly controls the transition rate the
+// MemberIndex delta path exploits.
+func GenerateMarkovSchedule(seed int64, edges, devices, steps int, stayProb float64) (*Schedule, error) {
+	if stayProb < 0 || stayProb > 1 {
+		return nil, fmt.Errorf("mobility: stay probability %v outside [0,1]", stayProb)
+	}
+	s, err := NewSchedule(edges, devices, steps)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for m := 0; m < devices; m++ {
+		e := rng.Intn(edges)
+		s.edgeOf[0][m] = e
+		for t := 1; t < steps; t++ {
+			if edges > 1 && rng.Float64() >= stayProb {
+				// Uniform over the other edges: draw from [0, edges-1) and
+				// skip past the current edge.
+				hop := rng.Intn(edges - 1)
+				if hop >= e {
+					hop++
+				}
+				e = hop
+			}
+			s.edgeOf[t][m] = e
+		}
+	}
+	return s, nil
 }
 
 // GenerateScheduleWaypoint is GenerateSchedule with an explicit waypoint

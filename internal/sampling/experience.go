@@ -97,6 +97,25 @@ func (b *ExperienceBook) UCBEstimate(m, t int) float64 {
 	return d.maxAvg + b.explorationCoef*math.Sqrt(logT/float64(steps))
 }
 
+// UCBEstimatesInto writes UCBEstimate(m, t) for every member into dst
+// (aligned with members, which must not be longer than dst) under a single
+// lock — at scale, one lock per edge instead of one per member. The per-
+// device arithmetic is identical to UCBEstimate, so the values match it
+// bit for bit.
+func (b *ExperienceBook) UCBEstimatesInto(dst []float64, members []int, t int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	logT := math.Log(float64(t) + 2)
+	for i, m := range members {
+		d := &b.devices[m]
+		steps := d.steps
+		if steps < 1 {
+			steps = 1
+		}
+		dst[i] = d.maxAvg + b.explorationCoef*math.Sqrt(logT/float64(steps))
+	}
+}
+
 // LastAverage returns the most recent window-average gradient norm of device
 // m, or fallback when the device has no folded experience yet. Statistical
 // sampling uses it as its (exploration-free) norm estimate.

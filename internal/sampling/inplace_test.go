@@ -1,0 +1,197 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// inPlaceStrategies builds one instance of every InPlaceStrategy with enough
+// seeded experience that the estimate paths are non-trivial.
+func inPlaceStrategies(t *testing.T) map[string]InPlaceStrategy {
+	t.Helper()
+	const devices = 40
+	mach, err := NewMACH(devices, DefaultMACHConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := NewStatistical(devices, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machp, err := NewMACHP(DefaultMACHConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for m := 0; m < devices; m += 2 { // half the devices have history
+		norms := []float64{rng.Float64() * 3, rng.Float64() * 3}
+		mach.Observe(1, m%3, m, norms)
+		stat.Observe(1, m%3, m, norms)
+	}
+	mach.CloudRound(2)
+	stat.CloudRound(2)
+	return map[string]InPlaceStrategy{
+		"uniform":     NewUniform(),
+		"mach":        mach,
+		"statistical": stat,
+		"mach-p":      machp,
+	}
+}
+
+// TestProbabilitiesIntoMatchesProbabilities pins the fast-path contract:
+// ProbabilitiesInto returns bit-identical values to Probabilities for every
+// in-place strategy, across member counts (including empty and
+// capacity ≥ |members|) while reusing one context and one buffer.
+func TestProbabilitiesIntoMatchesProbabilities(t *testing.T) {
+	for name, s := range inPlaceStrategies(t) {
+		t.Run(name, func(t *testing.T) {
+			var dst []float64
+			ctx := &EdgeContext{Capacity: 3}
+			probe := func(m int) float64 { return float64(m%7) + 0.5 }
+			for step := 0; step < 4; step++ {
+				for _, members := range [][]int{nil, {4}, {0, 1, 2}, {1, 3, 5, 7, 9, 11, 13, 15}} {
+					ctx.Step = step
+					ctx.Edge = step % 3
+					ctx.Members = members
+					ctx.ProbeGradNorm = probe
+					want := s.Probabilities(ctx)
+					dst = s.ProbabilitiesInto(ctx, dst)
+					if len(dst) != len(want) {
+						t.Fatalf("step %d members %v: len %d, want %d", step, members, len(dst), len(want))
+					}
+					for i := range want {
+						if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+							t.Fatalf("step %d members %v index %d: into %v, alloc %v", step, members, i, dst[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProbabilitiesIntoSteadyStateAllocs verifies the point of the fast
+// path: with a warm context and buffer, the MACH decide math allocates
+// nothing per edge.
+func TestProbabilitiesIntoSteadyStateAllocs(t *testing.T) {
+	mach, err := NewMACH(64, DefaultMACHConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]int, 64)
+	for i := range members {
+		members[i] = i
+	}
+	ctx := &EdgeContext{Capacity: 5, Members: members}
+	dst := make([]float64, 0, len(members))
+	dst = mach.ProbabilitiesInto(ctx, dst) // warm scratch + dst
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = mach.ProbabilitiesInto(ctx, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ProbabilitiesInto allocates %v objects per edge", allocs)
+	}
+}
+
+// TestEdgeSamplingIntoAliasing checks the documented dst==estimates aliasing
+// contract of EdgeSamplingInto and capProbabilitiesInto.
+func TestEdgeSamplingIntoAliasing(t *testing.T) {
+	cfg := DefaultMACHConfig()
+	estimates := []float64{0.2, 1.7, 0.0, 3.1, 0.4}
+	want := EdgeSampling(cfg, 2, estimates)
+	buf := append([]float64(nil), estimates...)
+	got := EdgeSamplingInto(cfg, 2, buf, buf)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("index %d: aliased %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUCBEstimatesIntoMatchesUCBEstimate pins the batched estimate path
+// against the single-device accessor.
+func TestUCBEstimatesIntoMatchesUCBEstimate(t *testing.T) {
+	b := NewExperienceBook(10, 1.3, 0.9)
+	b.Observe(2, []float64{4, 6})
+	b.Observe(7, []float64{1})
+	b.CloudRound(3)
+	members := []int{0, 2, 5, 7, 9}
+	dst := make([]float64, len(members))
+	for _, step := range []int{0, 3, 17} {
+		b.UCBEstimatesInto(dst, members, step)
+		for i, m := range members {
+			want := b.UCBEstimate(m, step)
+			if math.Float64bits(dst[i]) != math.Float64bits(want) {
+				t.Fatalf("step %d device %d: batched %v, single %v", step, m, dst[i], want)
+			}
+		}
+	}
+}
+
+func benchEstimates(n int) []float64 {
+	rng := rand.New(rand.NewSource(9))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64() * 4
+	}
+	return out
+}
+
+func BenchmarkEdgeSampling(b *testing.B) {
+	cfg := DefaultMACHConfig()
+	estimates := benchEstimates(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EdgeSampling(cfg, 10, estimates)
+	}
+}
+
+func BenchmarkEdgeSamplingInto(b *testing.B) {
+	cfg := DefaultMACHConfig()
+	estimates := benchEstimates(100)
+	dst := make([]float64, len(estimates))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = EdgeSamplingInto(cfg, 10, estimates, dst)
+	}
+}
+
+func BenchmarkUCBEstimate(b *testing.B) {
+	book := NewExperienceBook(100, 1, 0.9)
+	for m := 0; m < 100; m++ {
+		book.Observe(m, []float64{float64(m)})
+	}
+	book.CloudRound(1)
+	members := make([]int, 100)
+	for i := range members {
+		members[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range members {
+			_ = book.UCBEstimate(m, i)
+		}
+	}
+}
+
+func BenchmarkUCBEstimatesInto(b *testing.B) {
+	book := NewExperienceBook(100, 1, 0.9)
+	for m := 0; m < 100; m++ {
+		book.Observe(m, []float64{float64(m)})
+	}
+	book.CloudRound(1)
+	members := make([]int, 100)
+	for i := range members {
+		members[i] = i
+	}
+	dst := make([]float64, len(members))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		book.UCBEstimatesInto(dst, members, i)
+	}
+}

@@ -76,8 +76,8 @@ type MACH struct {
 }
 
 var (
-	_ Strategy = (*MACH)(nil)
-	_ Observer = (*MACH)(nil)
+	_ InPlaceStrategy = (*MACH)(nil)
+	_ Observer        = (*MACH)(nil)
 )
 
 // NewMACH returns a MACH strategy tracking numDevices devices.
@@ -107,17 +107,21 @@ func (s *MACH) CloudRound(t int) { s.book.CloudRound(t) }
 
 // Probabilities implements Strategy (Algorithm 3).
 func (s *MACH) Probabilities(ctx *EdgeContext) []float64 {
-	estimates := make([]float64, len(ctx.Members))
-	total := 0.0
-	for i, m := range ctx.Members {
-		estimates[i] = s.book.UCBEstimate(m, ctx.Step)
-		total += estimates[i]
-	}
+	return s.ProbabilitiesInto(ctx, make([]float64, len(ctx.Members)))
+}
+
+// ProbabilitiesInto implements InPlaceStrategy: the same Algorithm 3
+// pipeline with the UCB estimates batched into ctx.Scratch (one book lock
+// per edge instead of one per member) and every result written into dst.
+func (s *MACH) ProbabilitiesInto(ctx *EdgeContext, dst []float64) []float64 {
+	estimates := ensureLen(ctx.Scratch, len(ctx.Members))
+	ctx.Scratch = estimates
+	s.book.UCBEstimatesInto(estimates, ctx.Members, ctx.Step)
 	if s.cfg.RawEq13 {
 		// Ablation path: Eq. (16) plugged in directly without smoothing.
-		return capProbabilities(estimates, ctx.Capacity, s.cfg.QMin)
+		return capProbabilitiesInto(dst, estimates, ctx.Capacity, s.cfg.QMin)
 	}
-	return EdgeSampling(s.cfg, ctx.Capacity, estimates)
+	return EdgeSamplingInto(s.cfg, ctx.Capacity, estimates, dst)
 }
 
 // EdgeSampling is the core of Algorithm 3: given the gradient-norm estimates
@@ -126,17 +130,25 @@ func (s *MACH) Probabilities(ctx *EdgeContext) []float64 {
 // channel capacity (Eq. 18). It is shared by the in-process MACH strategy
 // and the distributed edge server of internal/fed.
 func EdgeSampling(cfg MACHConfig, capacity float64, estimates []float64) []float64 {
+	return EdgeSamplingInto(cfg, capacity, estimates, make([]float64, len(estimates)))
+}
+
+// EdgeSamplingInto is EdgeSampling into a caller-owned buffer, growing it
+// only when its capacity is insufficient. dst may alias estimates: the
+// estimate total is accumulated before any write and each score depends only
+// on its own estimate.
+func EdgeSamplingInto(cfg MACHConfig, capacity float64, estimates, dst []float64) []float64 {
 	total := 0.0
 	for _, g := range estimates {
 		total += g
 	}
-	scores := make([]float64, len(estimates))
+	dst = ensureLen(dst, len(estimates))
 	for i, g := range estimates {
 		qHat := 0.0
 		if total > 0 {
 			qHat = capacity * g / total // Eq. (16)
 		}
-		scores[i] = cfg.Transfer(qHat) // Eq. (17)
+		dst[i] = cfg.Transfer(qHat) // Eq. (17)
 	}
-	return capProbabilities(scores, capacity, cfg.QMin) // Eq. (18)
+	return capProbabilitiesInto(dst, dst, capacity, cfg.QMin) // Eq. (18)
 }

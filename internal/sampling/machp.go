@@ -17,7 +17,7 @@ type MACHP struct {
 	cache map[int]float64 // device → probed norm, valid for the current step
 }
 
-var _ Strategy = (*MACHP)(nil)
+var _ InPlaceStrategy = (*MACHP)(nil)
 
 // NewMACHP returns the perfect-information MACH variant.
 func NewMACHP(cfg MACHConfig) (*MACHP, error) {
@@ -33,23 +33,20 @@ func (*MACHP) Name() string { return "mach-p" }
 // Unbiased implements Strategy.
 func (*MACHP) Unbiased() bool { return true }
 
-// Probabilities implements Strategy.
+// Probabilities implements Strategy: the probed true norms fed through the
+// Eq. (16)-(18) pipeline of EdgeSampling.
 func (s *MACHP) Probabilities(ctx *EdgeContext) []float64 {
-	norms := make([]float64, len(ctx.Members))
-	total := 0.0
+	return s.ProbabilitiesInto(ctx, make([]float64, len(ctx.Members)))
+}
+
+// ProbabilitiesInto implements InPlaceStrategy.
+func (s *MACHP) ProbabilitiesInto(ctx *EdgeContext, dst []float64) []float64 {
+	norms := ensureLen(ctx.Scratch, len(ctx.Members))
+	ctx.Scratch = norms
 	for i, m := range ctx.Members {
 		norms[i] = s.probe(ctx, m)
-		total += norms[i]
 	}
-	scores := make([]float64, len(ctx.Members))
-	for i, g := range norms {
-		qHat := 0.0
-		if total > 0 {
-			qHat = ctx.Capacity * g / total
-		}
-		scores[i] = s.cfg.Transfer(qHat)
-	}
-	return capProbabilities(scores, ctx.Capacity, s.cfg.QMin)
+	return EdgeSamplingInto(s.cfg, ctx.Capacity, norms, dst)
 }
 
 // probe measures (or recalls) the device's true gradient norm for the

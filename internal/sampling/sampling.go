@@ -41,6 +41,12 @@ type EdgeContext struct {
 	ProbeGradNorm func(m int) float64
 	// RNG is the edge's deterministic randomness source for this step.
 	RNG *rand.Rand
+	// Scratch is an optional caller-owned float buffer strategies may use
+	// for intermediate per-member values (estimates, scores). Strategies
+	// that grow it store the grown slice back here, so a pooled context
+	// amortizes the allocation across steps. Contexts must not be shared
+	// across concurrently-deciding edges.
+	Scratch []float64
 }
 
 // Strategy computes per-edge device sampling probabilities.
@@ -58,6 +64,25 @@ type Strategy interface {
 	// over the sampled devices (false, used by the actively-selecting
 	// class-balance baseline).
 	Unbiased() bool
+}
+
+// InPlaceStrategy is the allocation-free fast path: ProbabilitiesInto
+// computes the same vector as Probabilities — bit-identically — into a
+// caller-owned buffer, growing it only when its capacity is insufficient,
+// and may use ctx.Scratch for intermediates. The engine's per-step hot loop
+// uses it when available and falls back to Probabilities otherwise.
+type InPlaceStrategy interface {
+	Strategy
+	ProbabilitiesInto(ctx *EdgeContext, dst []float64) []float64
+}
+
+// ensureLen returns dst resized to n, reallocating only when cap(dst) < n.
+// Contents are unspecified; callers overwrite every element.
+func ensureLen(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // Observer is implemented by strategies that learn from training
@@ -83,16 +108,23 @@ type Observer interface {
 // with Σ q ≤ capacity and q ∈ [floor, 1]. Scores must not be all zero; a
 // uniform fallback is used if they are.
 func capProbabilities(scores []float64, capacity, floor float64) []float64 {
+	return capProbabilitiesInto(make([]float64, len(scores)), scores, capacity, floor)
+}
+
+// capProbabilitiesInto is capProbabilities into a caller-owned buffer. dst
+// may alias scores: the total is accumulated before any write, and out[i]
+// depends only on scores[i] and the total.
+func capProbabilitiesInto(dst, scores []float64, capacity, floor float64) []float64 {
 	n := len(scores)
-	out := make([]float64, n)
+	dst = ensureLen(dst, n)
 	if n == 0 {
-		return out
+		return dst
 	}
 	if capacity >= float64(n) {
-		for i := range out {
-			out[i] = 1
+		for i := range dst {
+			dst[i] = 1
 		}
-		return out
+		return dst
 	}
 	total := 0.0
 	for _, s := range scores {
@@ -100,15 +132,15 @@ func capProbabilities(scores []float64, capacity, floor float64) []float64 {
 	}
 	if total <= 0 {
 		q := capacity / float64(n)
-		for i := range out {
-			out[i] = clampProb(q, floor)
+		for i := range dst {
+			dst[i] = clampProb(q, floor)
 		}
-		return out
+		return dst
 	}
 	for i, s := range scores {
-		out[i] = clampProb(capacity*s/total, floor)
+		dst[i] = clampProb(capacity*s/total, floor)
 	}
-	return out
+	return dst
 }
 
 func clampProb(q, floor float64) float64 {
@@ -189,7 +221,7 @@ func VarianceTerm(sqNorms, probs []float64) float64 {
 // sampled with the same probability K_n/|M^t_n| [Li et al., ICLR 2020].
 type Uniform struct{}
 
-var _ Strategy = (*Uniform)(nil)
+var _ InPlaceStrategy = (*Uniform)(nil)
 
 // NewUniform returns the uniform sampling baseline.
 func NewUniform() *Uniform { return &Uniform{} }
@@ -201,10 +233,15 @@ func (*Uniform) Name() string { return "uniform" }
 func (*Uniform) Unbiased() bool { return true }
 
 // Probabilities implements Strategy.
-func (*Uniform) Probabilities(ctx *EdgeContext) []float64 {
-	scores := make([]float64, len(ctx.Members))
-	for i := range scores {
-		scores[i] = 1
+func (u *Uniform) Probabilities(ctx *EdgeContext) []float64 {
+	return u.ProbabilitiesInto(ctx, make([]float64, len(ctx.Members)))
+}
+
+// ProbabilitiesInto implements InPlaceStrategy.
+func (*Uniform) ProbabilitiesInto(ctx *EdgeContext, dst []float64) []float64 {
+	dst = ensureLen(dst, len(ctx.Members))
+	for i := range dst {
+		dst[i] = 1
 	}
-	return capProbabilities(scores, ctx.Capacity, 0)
+	return capProbabilitiesInto(dst, dst, ctx.Capacity, 0)
 }

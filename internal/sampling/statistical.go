@@ -33,8 +33,8 @@ type Statistical struct {
 }
 
 var (
-	_ Strategy = (*Statistical)(nil)
-	_ Observer = (*Statistical)(nil)
+	_ InPlaceStrategy = (*Statistical)(nil)
+	_ Observer        = (*Statistical)(nil)
 )
 
 // NewStatistical returns the statistical sampling baseline. qMin floors the
@@ -93,10 +93,16 @@ func (s *Statistical) CloudRound(t int) {
 // scaled to the capacity. Devices the edge has never trained score the
 // prior.
 func (s *Statistical) Probabilities(ctx *EdgeContext) []float64 {
+	return s.ProbabilitiesInto(ctx, make([]float64, len(ctx.Members)))
+}
+
+// ProbabilitiesInto implements InPlaceStrategy.
+func (s *Statistical) ProbabilitiesInto(ctx *EdgeContext, dst []float64) []float64 {
 	b := s.book(ctx.Edge)
-	scores := make([]float64, len(ctx.Members))
+	scores := ensureLen(ctx.Scratch, len(ctx.Members))
+	ctx.Scratch = scores
 	for i, m := range ctx.Members {
 		scores[i] = b.LastAverage(m, s.priorNorm)
 	}
-	return capProbabilities(scores, ctx.Capacity, s.qMin)
+	return capProbabilitiesInto(dst, scores, ctx.Capacity, s.qMin)
 }

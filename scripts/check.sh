@@ -28,4 +28,9 @@ go test -race -short -run 'TestRunBitIdenticalAcrossWorkerCounts' ./internal/hfl
 echo "== go test -race -short (fed wire protocol + codec)"
 go test -race -short ./internal/fed/ ./internal/codec/
 
+echo "== scale bench smoke (-exp scale -quick, naive/indexed divergence check)"
+scale_tmp=$(mktemp -d)
+go run ./cmd/machbench -exp scale -quick -out "$scale_tmp" >/dev/null
+rm -rf "$scale_tmp"
+
 echo "check: OK"
