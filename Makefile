@@ -28,7 +28,13 @@ bench-comm:
 bench-scale:
 	go run ./cmd/machbench -exp scale
 
+# Telemetry overhead benchmark: the control-plane workload with telemetry
+# off / metrics only / full trace; writes BENCH_telemetry.json in the repo
+# root.
+bench-telemetry:
+	go run ./cmd/machbench -exp telemetry
+
 bench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check lint test race bench bench-engine bench-comm bench-scale
+.PHONY: check lint test race bench bench-engine bench-comm bench-scale bench-telemetry

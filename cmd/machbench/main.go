@@ -19,6 +19,7 @@ import (
 
 	"github.com/mach-fl/mach/internal/bench"
 	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // csvDir, when set by -out, receives per-strategy accuracy curves.
@@ -46,6 +47,26 @@ func exportCurves(prefix string, cmp *bench.Comparison) error {
 	return nil
 }
 
+// writeLookupProfile dumps a runtime profile (block, mutex) at exit.
+func writeLookupProfile(name, path string) {
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "machbench: no %s profile\n", name)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "machbench: create %s profile: %v\n", name, err)
+		return
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "machbench: write %s profile: %v\n", name, err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "machbench: close %s profile: %v\n", name, err)
+	}
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "machbench:", err)
@@ -55,16 +76,18 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | comm | scale | all")
+		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | comm | scale | telemetry | all")
 		task  = flag.String("task", "", "task: mnist | fmnist | cifar10 (default: all tasks)")
 		scale = flag.String("scale", "ci", "scale: ci | full")
-		quick = flag.Bool("quick", false, "use the seconds-scale smoke preset (scale experiment only)")
+		quick = flag.Bool("quick", false, "use the seconds-scale smoke preset (scale/telemetry experiments only)")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		runs  = flag.Int("runs", 0, "override number of averaged runs (0 = preset)")
-		steps = flag.Int("steps", 0, "override step budget (0 = preset)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		blockProfile = flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+		seed         = flag.Int64("seed", 1, "base random seed")
+		runs         = flag.Int("runs", 0, "override number of averaged runs (0 = preset)")
+		steps        = flag.Int("steps", 0, "override step budget (0 = preset)")
 
 		devices = flag.Int("devices", 0, "override device count (0 = preset)")
 		edges   = flag.Int("edges", 0, "override edge count (0 = preset)")
@@ -120,22 +143,43 @@ func run() error {
 			}
 		}()
 	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookupProfile("block", *blockProfile)
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookupProfile("mutex", *mutexProfile)
+	}
+	// profiles is recorded into the JSON-writing experiments' results, so a
+	// committed number can be traced back to the profiles captured with it.
+	var profiles *bench.ProfileMeta
+	if *cpuProfile != "" || *memProfile != "" || *blockProfile != "" || *mutexProfile != "" {
+		profiles = &bench.ProfileMeta{
+			CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile,
+		}
+	}
 
 	if *exp == "scale" {
 		// The control-plane scale benchmark builds synthetic populations;
 		// task/scale flags don't apply.
-		return runScale(*outDir, *quick)
+		return runScale(*outDir, *quick, profiles)
 	}
 	if *exp == "engine" {
 		// The engine micro-benchmark runs a frozen configuration so its
 		// numbers are comparable across commits; task/scale flags don't
 		// apply.
-		return runEngine(*outDir)
+		return runEngine(*outDir, profiles)
 	}
 	if *exp == "comm" {
 		// Same deal for the wire-format benchmark: a frozen distributed
 		// deployment measured per codec scheme.
-		return runComm(*outDir)
+		return runComm(*outDir, profiles)
+	}
+	if *exp == "telemetry" {
+		// The telemetry overhead benchmark reruns one control-plane workload
+		// per observability tier; task/scale flags don't apply.
+		return runTelemetry(*outDir, *quick, profiles)
 	}
 
 	tasks := bench.AllTasks()
@@ -270,7 +314,7 @@ func run() error {
 }
 
 func runFig3(cfg bench.Config) error {
-	start := time.Now()
+	start := telemetry.WallNow()
 	r, err := bench.RunFig3(cfg)
 	if err != nil {
 		return err
@@ -281,12 +325,12 @@ func runFig3(cfg bench.Config) error {
 	if err := exportCurves(fmt.Sprintf("fig3_%s", cfg.Task), r.Comparison); err != nil {
 		return err
 	}
-	fmt.Printf("[fig3 %s done in %v]\n\n", cfg.Task, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[fig3 %s done in %v]\n\n", cfg.Task, telemetry.WallSince(start).Round(time.Millisecond))
 	return nil
 }
 
 func runFig4(cfg bench.Config) error {
-	start := time.Now()
+	start := telemetry.WallNow()
 	edges := []int{2, 5, 10}
 	if cfg.Devices < 50 {
 		edges = []int{2, 3, 5} // CI topology has fewer devices per edge
@@ -298,12 +342,12 @@ func runFig4(cfg bench.Config) error {
 	if err := bench.RenderSweep(os.Stdout, r, "Figure 4"); err != nil {
 		return err
 	}
-	fmt.Printf("[fig4 %s done in %v]\n\n", cfg.Task, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[fig4 %s done in %v]\n\n", cfg.Task, telemetry.WallSince(start).Round(time.Millisecond))
 	return nil
 }
 
 func runFig5(cfg bench.Config) error {
-	start := time.Now()
+	start := telemetry.WallNow()
 	r, err := bench.RunParticipationSweep(cfg, []float64{0.4, 0.5, 0.6, 0.7})
 	if err != nil {
 		return err
@@ -311,12 +355,12 @@ func runFig5(cfg bench.Config) error {
 	if err := bench.RenderSweep(os.Stdout, r, "Figure 5"); err != nil {
 		return err
 	}
-	fmt.Printf("[fig5 %s done in %v]\n\n", cfg.Task, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[fig5 %s done in %v]\n\n", cfg.Task, telemetry.WallSince(start).Round(time.Millisecond))
 	return nil
 }
 
 func runAblations(cfg bench.Config) error {
-	start := time.Now()
+	start := telemetry.WallNow()
 	results, err := bench.RunAblations(cfg)
 	if err != nil {
 		return err
@@ -324,19 +368,20 @@ func runAblations(cfg bench.Config) error {
 	if err := bench.RenderAblations(os.Stdout, results); err != nil {
 		return err
 	}
-	fmt.Printf("[ablations %s done in %v]\n\n", cfg.Task, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[ablations %s done in %v]\n\n", cfg.Task, telemetry.WallSince(start).Round(time.Millisecond))
 	return nil
 }
 
 // runEngine measures the training engine itself (wall time per step,
 // allocations, devices-trained/sec across worker-pool sizes) and writes
 // BENCH_engine.json next to the binary or into -out.
-func runEngine(outDir string) error {
-	start := time.Now()
+func runEngine(outDir string, profiles *bench.ProfileMeta) error {
+	start := telemetry.WallNow()
 	r, err := bench.RunEngineBench(bench.EngineBenchPreset())
 	if err != nil {
 		return err
 	}
+	r.Profiles = profiles
 	if err := bench.RenderEngineBench(os.Stdout, r); err != nil {
 		return err
 	}
@@ -358,7 +403,7 @@ func runEngine(outDir string) error {
 	if err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
-	fmt.Printf("\n[engine bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
+	fmt.Printf("\n[engine bench done in %v — wrote %s]\n\n", telemetry.WallSince(start).Round(time.Millisecond), path)
 	return nil
 }
 
@@ -366,8 +411,8 @@ func runEngine(outDir string) error {
 // to 100k devices × 1k edges (naive vs indexed per cell) and writes
 // BENCH_scale.json next to the binary or into -out. -quick swaps in the
 // seconds-scale smoke preset.
-func runScale(outDir string, quick bool) error {
-	start := time.Now()
+func runScale(outDir string, quick bool, profiles *bench.ProfileMeta) error {
+	start := telemetry.WallNow()
 	preset := bench.ScaleBenchPreset()
 	if quick {
 		preset = bench.ScaleBenchQuickPreset()
@@ -376,6 +421,7 @@ func runScale(outDir string, quick bool) error {
 	if err != nil {
 		return err
 	}
+	r.Profiles = profiles
 	if err := bench.RenderScaleBench(os.Stdout, r); err != nil {
 		return err
 	}
@@ -397,19 +443,20 @@ func runScale(outDir string, quick bool) error {
 	if err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
-	fmt.Printf("\n[scale bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
+	fmt.Printf("\n[scale bench done in %v — wrote %s]\n\n", telemetry.WallSince(start).Round(time.Millisecond), path)
 	return nil
 }
 
 // runComm measures the distributed stack's wire traffic per codec scheme
 // (real bytes counted on every connection) and writes BENCH_comm.json next
 // to the binary or into -out.
-func runComm(outDir string) error {
-	start := time.Now()
+func runComm(outDir string, profiles *bench.ProfileMeta) error {
+	start := telemetry.WallNow()
 	r, err := bench.RunCommBench(bench.CommBenchPreset())
 	if err != nil {
 		return err
 	}
+	r.Profiles = profiles
 	if err := bench.RenderCommBench(os.Stdout, r); err != nil {
 		return err
 	}
@@ -431,12 +478,51 @@ func runComm(outDir string) error {
 	if err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
-	fmt.Printf("\n[comm bench done in %v — wrote %s]\n\n", time.Since(start).Round(time.Millisecond), path)
+	fmt.Printf("\n[comm bench done in %v — wrote %s]\n\n", telemetry.WallSince(start).Round(time.Millisecond), path)
+	return nil
+}
+
+// runTelemetry measures the observability overhead (off vs metrics vs full
+// trace) on the control-plane workload and writes BENCH_telemetry.json next
+// to the binary or into -out. -quick swaps in the seconds-scale smoke preset.
+func runTelemetry(outDir string, quick bool, profiles *bench.ProfileMeta) error {
+	start := telemetry.WallNow()
+	preset := bench.TelemetryBenchPreset()
+	if quick {
+		preset = bench.TelemetryBenchQuickPreset()
+	}
+	r, err := bench.RunTelemetryBench(preset)
+	if err != nil {
+		return err
+	}
+	r.Profiles = profiles
+	if err := bench.RenderTelemetryBench(os.Stdout, r); err != nil {
+		return err
+	}
+	path := "BENCH_telemetry.json"
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+		path = filepath.Join(outDir, path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	err = r.WriteTelemetryBenchJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("\n[telemetry bench done in %v — wrote %s]\n\n", telemetry.WallSince(start).Round(time.Millisecond), path)
 	return nil
 }
 
 func runTable1(cfg bench.Config) error {
-	start := time.Now()
+	start := telemetry.WallNow()
 	r, err := bench.RunTable1(cfg)
 	if err != nil {
 		return err
@@ -444,6 +530,6 @@ func runTable1(cfg bench.Config) error {
 	if err := bench.RenderTable1(os.Stdout, r); err != nil {
 		return err
 	}
-	fmt.Printf("[table1 %s done in %v]\n\n", cfg.Task, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("[table1 %s done in %v]\n\n", cfg.Task, telemetry.WallSince(start).Round(time.Millisecond))
 	return nil
 }

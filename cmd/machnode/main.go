@@ -27,6 +27,7 @@ import (
 	"github.com/mach-fl/mach/internal/codec"
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/fed"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 func main() {
@@ -53,8 +54,23 @@ func run() error {
 		edgeList  = flag.String("edge-addrs", "", "cloud: comma-separated edge addresses")
 		codecName = flag.String("codec", codec.SchemeDelta.String(),
 			"cloud: wire format for model transfers: delta | raw | float32 | int8")
+		debugAddr = flag.String("debug-addr", "",
+			"serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
 	)
 	flag.Parse()
+
+	// Every role can expose its telemetry; without -debug-addr the servers
+	// keep their zero-overhead nil sinks.
+	var tel *telemetry.Telemetry
+	if *debugAddr != "" {
+		tel = telemetry.New()
+		srv, err := telemetry.StartDebugServer(*debugAddr, tel)
+		if err != nil {
+			return err
+		}
+		defer srv.Close() //machlint:allow errdrop process is exiting; the listener dies with it
+		fmt.Fprintf(os.Stderr, "machnode: debug server on http://%s/debug/\n", srv.Addr)
+	}
 	scheme, err := codec.ParseScheme(*codecName)
 	if err != nil {
 		return err
@@ -90,6 +106,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		srv.SetTelemetry(tel)
 		addr, err := srv.Serve(*listen)
 		if err != nil {
 			return err
@@ -116,6 +133,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		e.SetTelemetry(tel)
 		addr, err := e.Serve(*listen)
 		if err != nil {
 			return err
@@ -142,6 +160,7 @@ func run() error {
 			return err
 		}
 		defer cloud.Close() //machlint:allow errdrop best-effort teardown at process exit; run errors already surfaced
+		cloud.SetTelemetry(tel)
 		hist, err := cloud.Run()
 		if err != nil {
 			return err

@@ -23,6 +23,7 @@ import (
 	"github.com/mach-fl/mach/internal/bench"
 	"github.com/mach-fl/mach/internal/hfl"
 	"github.com/mach-fl/mach/internal/mobility"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // writeCSVTo streams write into the file at path ("" means stdout). The
@@ -63,6 +64,11 @@ func run() error {
 		devices  = flag.Int("devices", 0, "override device count")
 		outPath  = flag.String("out", "", "write accuracy history CSV here (default stdout)")
 		confPath = flag.String("config", "", "JSON experiment config layered over the preset")
+
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+		traceOut   = flag.String("trace-out", "", "write a JSONL sampling-decision trace here (read with machtrace)")
+		traceEvery = flag.Int("trace-every", 0, "record decision/phase events only every N steps (0 = all)")
+		traceEdges = flag.Int("trace-edges", 0, "record decisions only for the first N edges (0 = all)")
 	)
 	flag.Parse()
 
@@ -110,6 +116,38 @@ func run() error {
 		return err
 	}
 
+	// Telemetry is attached whenever any observability surface is requested;
+	// without them the engine keeps its zero-overhead nil sink.
+	var tel *telemetry.Telemetry
+	if *debugAddr != "" || *traceOut != "" {
+		tel = telemetry.New()
+		eng.SetTelemetry(tel)
+	}
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebugServer(*debugAddr, tel)
+		if err != nil {
+			return err
+		}
+		defer srv.Close() //machlint:allow errdrop process is exiting; the listener dies with it
+		fmt.Fprintf(os.Stderr, "machsim: debug server on http://%s/debug/\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("create trace %s: %w", *traceOut, err)
+		}
+		trace := telemetry.NewTrace(f, telemetry.TraceConfig{Every: *traceEvery, MaxEdges: *traceEdges})
+		tel.SetTrace(trace)
+		defer func() {
+			if err := trace.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "machsim: trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "machsim: trace:", err)
+			}
+		}()
+	}
+
 	var opts []hfl.RunOption
 	if *target > 0 {
 		opts = append(opts, hfl.WithTarget(*target))
@@ -118,7 +156,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "step %4d  accuracy %.4f  loss %.4f\n", step, acc, loss)
 	}))
 
-	start := time.Now()
+	start := telemetry.WallNow()
 	res, err := eng.Run(opts...)
 	if err != nil {
 		return err
@@ -131,7 +169,7 @@ func run() error {
 		"machsim: %s/%s  steps=%d  sampled=%d  final accuracy=%.4f  best=%.4f  elapsed=%v\n",
 		*task, *strategy, res.StepsRun, res.TotalSampled,
 		res.History.FinalAccuracy(), res.History.BestAccuracy(),
-		time.Since(start).Round(time.Millisecond))
+		telemetry.WallSince(start).Round(time.Millisecond))
 	if res.ReachedTarget {
 		fmt.Fprintf(os.Stderr, "machsim: reached target %.2f at step %d\n", *target, res.TargetStep)
 	}

@@ -1,0 +1,137 @@
+// Command machtrace explains telemetry traces written by machsim/machbench
+// (-trace-out): JSONL event streams recording every sampling decision of a
+// run (internal/telemetry).
+//
+// Usage:
+//
+//	machtrace summary trace.jsonl
+//	machtrace why -device 17 -step 42 trace.jsonl
+//	machtrace diff a.jsonl b.jsonl
+//
+// summary digests the run: phase timings, exploration health, probability
+// mass drift, evaluations. why reconstructs one device's sampling decision at
+// one step — the estimate that fed its probability and the coin that decided
+// it. diff compares the deterministic events of two traces; for
+// identically-seeded runs it reports zero divergence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mach-fl/mach/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "machtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: machtrace summary|why|diff [flags] FILE...")
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "summary":
+		return summary(rest)
+	case "why":
+		return why(rest)
+	case "diff":
+		return diff(rest)
+	default:
+		return fmt.Errorf("unknown command %q (want summary, why or diff)", cmd)
+	}
+}
+
+// readTrace loads every event of one trace file.
+func readTrace(path string) ([]telemetry.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //machlint:allow errdrop read-only file; a close failure cannot corrupt anything
+	events, err := telemetry.ReadEvents(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+func summary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: machtrace summary FILE")
+	}
+	events, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return telemetry.Summarize(events).Write(os.Stdout)
+}
+
+func why(args []string) error {
+	fs := flag.NewFlagSet("why", flag.ContinueOnError)
+	device := fs.Int("device", -1, "device id to explain")
+	step := fs.Int("step", -1, "time step of the decision")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *device < 0 || *step < 0 {
+		return fmt.Errorf("usage: machtrace why -device N -step T FILE")
+	}
+	events, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	report, err := telemetry.Why(events, *device, *step)
+	if err != nil {
+		return err
+	}
+	return report.Write(os.Stdout)
+}
+
+func diff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	limit := fs.Int("limit", 10, "print at most this many divergences")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: machtrace diff A B")
+	}
+	ea, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	eb, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	div := telemetry.Diff(ea, eb)
+	if div == nil {
+		fmt.Printf("traces agree: %d deterministic events, zero divergence\n", len(ea))
+		return nil
+	}
+	fmt.Printf("%d divergences (first at deterministic event %d, step %d)\n", len(div), div[0].Index, div[0].Step)
+	for i, d := range div {
+		if i >= *limit {
+			fmt.Printf("... %d more\n", len(div)-i)
+			break
+		}
+		fmt.Printf("event %d (step %d, %s):\n  A: %s\n  B: %s\n", d.Index, d.Step, d.Type, orMissing(d.A), orMissing(d.B))
+	}
+	return fmt.Errorf("traces diverge")
+}
+
+func orMissing(s string) string {
+	if s == "" {
+		return "(missing)"
+	}
+	return s
+}

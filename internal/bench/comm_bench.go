@@ -7,12 +7,12 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"time"
 
 	"github.com/mach-fl/mach/internal/codec"
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/fed"
 	"github.com/mach-fl/mach/internal/metrics"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // CommBenchPreset is the fixed configuration of `machbench -exp comm`: the
@@ -81,6 +81,8 @@ type CommBenchResult struct {
 	Params  int             `json:"params"`
 	Rows    []CommBenchRow  `json:"rows"`
 	Micro   []CodecMicroRow `json:"micro"`
+	// Profiles names the pprof files captured with this run, if any.
+	Profiles *ProfileMeta `json:"profiles,omitempty"`
 }
 
 // commDeployment is an in-process loopback cluster for one measured run.
@@ -208,9 +210,9 @@ func RunCommBench(cfg Config) (*CommBenchResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: comm deployment (%v): %w", scheme, err)
 		}
-		start := time.Now()
+		start := telemetry.WallNow()
 		hist, err := d.cloud.Run()
-		wall := time.Since(start)
+		wall := telemetry.WallSince(start)
 		if err != nil {
 			d.close()
 			return nil, fmt.Errorf("bench: comm run (%v): %w", scheme, err)

@@ -6,9 +6,9 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
-	"time"
 
 	"github.com/mach-fl/mach/internal/hfl"
+	"github.com/mach-fl/mach/internal/telemetry"
 	"github.com/mach-fl/mach/internal/tensor"
 )
 
@@ -78,6 +78,8 @@ type EngineBenchResult struct {
 	Strategy   string           `json:"strategy"`
 	Rows       []EngineBenchRow `json:"rows"`
 	MatMul     []MatMulBenchRow `json:"matmul"`
+	// Profiles names the pprof files captured with this run, if any.
+	Profiles *ProfileMeta `json:"profiles,omitempty"`
 }
 
 // engineBenchWorkerCounts picks the pool sizes to measure: serial, two
@@ -134,9 +136,9 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		start := time.Now()
+		start := telemetry.WallNow()
 		run, err := eng.Run()
-		wall := time.Since(start)
+		wall := telemetry.WallSince(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
 			return nil, fmt.Errorf("bench: engine run (workers=%d): %w", workers, err)
@@ -200,9 +202,9 @@ func benchMatMul(n int) MatMulBenchRow {
 func bestOf(iters int, fn func()) int64 {
 	best := int64(0)
 	for i := 0; i < iters; i++ {
-		start := time.Now()
+		start := telemetry.WallNow()
 		fn()
-		d := time.Since(start).Nanoseconds()
+		d := telemetry.WallSince(start).Nanoseconds()
 		if best == 0 || d < best {
 			best = d
 		}

@@ -1,0 +1,11 @@
+package bench
+
+// ProfileMeta records the pprof profile files a machbench invocation wrote
+// alongside its JSON result, so a recorded number can be traced back to the
+// profiles captured with it. Nil means the invocation captured none.
+type ProfileMeta struct {
+	CPU   string `json:"cpu,omitempty"`
+	Mem   string `json:"mem,omitempty"`
+	Block string `json:"block,omitempty"`
+	Mutex string `json:"mutex,omitempty"`
+}

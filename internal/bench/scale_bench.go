@@ -6,11 +6,11 @@ import (
 	"io"
 	"math"
 	"runtime"
-	"time"
 
 	"github.com/mach-fl/mach/internal/mobility"
 	"github.com/mach-fl/mach/internal/parallel"
 	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // ScaleCell is one population shape of the scale benchmark.
@@ -147,6 +147,8 @@ type ScaleBenchResult struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	Config     ScaleConfig     `json:"config"`
 	Rows       []ScaleBenchRow `json:"rows"`
+	// Profiles names the pprof files captured with this run, if any.
+	Profiles *ProfileMeta `json:"profiles,omitempty"`
 }
 
 // scaleMix reproduces the engine's FNV-style seed mixing so the benchmark's
@@ -357,12 +359,12 @@ func measureScaleCell(cfg ScaleConfig, cell ScaleCell, indexed bool) (ScaleBench
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := telemetry.WallNow()
 	sampled := int64(0)
 	for t := cfg.WarmupSteps; t < totalSteps; t++ {
 		sampled += step(t)
 	}
-	wall := time.Since(start)
+	wall := telemetry.WallSince(start)
 	runtime.ReadMemStats(&after)
 	row := ScaleBenchRow{
 		Devices:             cell.Devices,

@@ -12,6 +12,7 @@ import (
 	"github.com/mach-fl/mach/internal/metrics"
 	"github.com/mach-fl/mach/internal/mobility"
 	"github.com/mach-fl/mach/internal/nn"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // CloudConfig parameterizes the coordinator.
@@ -78,7 +79,14 @@ type Cloud struct {
 	// directions; transfers the model-bearing messages among them.
 	comm      atomic.Int64
 	transfers atomic.Int64
+
+	// tel records step/eval timings, RPC fan-out and eval results; nil
+	// disables it.
+	tel *telemetry.Telemetry
 }
+
+// SetTelemetry attaches a telemetry sink (nil detaches). Call before Run.
+func (c *Cloud) SetTelemetry(t *telemetry.Telemetry) { c.tel = t }
 
 // NewCloud dials the edge servers and device hosts and initializes the
 // global model from arch. Every connection counts its wire bytes into the
@@ -180,7 +188,9 @@ func (c *Cloud) Run() (*metrics.History, error) {
 	resetParams := true // first step seeds every edge with the global model
 	edgeParams := make([][]float64, c.schedule.Edges)
 
+	prevComm := c.comm.Load()
 	for t := 0; t < c.cfg.Steps; t++ {
+		stepStart := c.tel.Now()
 		cloudRound := (t+1)%c.cfg.CloudInterval == 0
 		var blob codec.Blob
 		var blobID uint64
@@ -219,6 +229,7 @@ func (c *Cloud) Run() (*metrics.History, error) {
 					c.transfers.Add(1)
 				}
 				var rep EdgeStepReply
+				c.tel.Add(telemetry.CounterRPCCalls, 1)
 				if err := c.edges[n].Call("Edge.Step", args, &rep); err != nil {
 					errs[n] = err
 					return
@@ -251,22 +262,35 @@ func (c *Cloud) Run() (*metrics.History, error) {
 			resetParams = true
 			for i, host := range c.deviceHosts {
 				var rep CloudRoundReply
+				c.tel.Add(telemetry.CounterRPCCalls, 1)
 				if err := host.Call("Device.CloudRound", CloudRoundArgs{Step: t + 1}, &rep); err != nil {
 					return nil, fmt.Errorf("fed: cloud round on host %d: %w", i, err)
 				}
 			}
+			c.tel.Add(telemetry.CounterCloudRounds, 1)
 		}
 		evalDue := cloudRound
 		if c.cfg.EvalEvery > 0 {
 			evalDue = (t+1)%c.cfg.EvalEvery == 0
 		}
 		if evalDue || t == c.cfg.Steps-1 {
+			evalStart := c.tel.Now()
 			if err := c.evalNet.SetParamVector(c.global); err != nil {
 				return nil, err
 			}
 			x, y := c.test.All()
 			acc, loss := c.evalNet.Evaluate(x, y)
 			hist.Add(metrics.Point{Step: t + 1, Accuracy: acc, Loss: loss})
+			c.tel.ObserveSince(telemetry.HistEvalNS, evalStart)
+			c.tel.Add(telemetry.CounterEvals, 1)
+			c.tel.SetGauge(telemetry.GaugeAccuracy, acc)
+			c.tel.SetGauge(telemetry.GaugeLoss, loss)
+		}
+		c.tel.Add(telemetry.CounterSteps, 1)
+		c.tel.ObserveSince(telemetry.HistStepNS, stepStart)
+		if comm := c.comm.Load(); comm != prevComm {
+			c.tel.Add(telemetry.CounterCloudBytes, comm-prevComm)
+			prevComm = comm
 		}
 	}
 	return hist, nil

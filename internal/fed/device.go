@@ -12,6 +12,7 @@ import (
 	"github.com/mach-fl/mach/internal/hfl"
 	"github.com/mach-fl/mach/internal/nn"
 	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // DeviceServer hosts a set of logical mobile devices: their datasets, model
@@ -36,7 +37,13 @@ type DeviceServer struct {
 
 	listener net.Listener
 	server   *rpc.Server
+
+	// tel counts served RPCs and training activity; nil disables it.
+	tel *telemetry.Telemetry
 }
+
+// SetTelemetry attaches a telemetry sink (nil detaches). Call before Serve.
+func (s *DeviceServer) SetTelemetry(t *telemetry.Telemetry) { s.tel = t }
 
 type hostedDevice struct {
 	data  *dataset.Dataset
@@ -123,6 +130,7 @@ func acceptLoop(srv *rpc.Server, ln net.Listener) {
 
 // Ping implements the liveness RPC.
 func (s *DeviceServer) Ping(_ PingArgs, reply *PingReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	reply.Role = "device-host"
 	return nil
 }
@@ -131,6 +139,7 @@ func (s *DeviceServer) Ping(_ PingArgs, reply *PingReply) error {
 // (Eq. 15). Unknown devices yield an error: the edge's membership view is
 // stale.
 func (s *DeviceServer) Estimate(args EstimateArgs, reply *EstimateReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	reply.Estimates = make([]float64, len(args.Devices))
@@ -145,6 +154,7 @@ func (s *DeviceServer) Estimate(args EstimateArgs, reply *EstimateReply) error {
 
 // ClassDist returns the devices' local label distributions.
 func (s *DeviceServer) ClassDist(args ClassDistArgs, reply *ClassDistReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	reply.Distributions = make([][]float64, len(args.Devices))
@@ -166,6 +176,7 @@ func (s *DeviceServer) ClassDist(args ClassDistArgs, reply *ClassDistReply) erro
 // which the schedule's partition property (Eq. 1 — a device attaches to
 // exactly one edge per step) guarantees in a correct deployment.
 func (s *DeviceServer) Train(args TrainArgs, reply *TrainReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	s.mu.Lock()
 	dev, ok := s.devices[args.Device]
 	s.mu.Unlock()
@@ -199,6 +210,7 @@ func (s *DeviceServer) trainOne(dev *hostedDevice, id int, base []float64, hyper
 		sqNorms[tau] = gn
 	}
 	s.book.Observe(id, sqNorms)
+	s.tel.Add(telemetry.CounterDevicesTrained, 1)
 	return sqNorms, nil
 }
 
@@ -206,6 +218,7 @@ func (s *DeviceServer) trainOne(dev *hostedDevice, id int, base []float64, hyper
 // Installing a base replaces every earlier base of that edge, so the cache
 // holds at most one vector per edge between steps.
 func (s *DeviceServer) SetBase(args SetBaseArgs, reply *SetBaseReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	params, err := codec.Decode(args.Model, nil)
 	if err != nil {
 		return fmt.Errorf("fed: set base for edge %d: %w", args.Edge, err)
@@ -220,6 +233,7 @@ func (s *DeviceServer) SetBase(args SetBaseArgs, reply *SetBaseReply) error {
 // GetBase returns the bits of a cached base model, always encoded lossless
 // so the caller recovers exactly what the hosted devices train from.
 func (s *DeviceServer) GetBase(args GetBaseArgs, reply *GetBaseReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	base, err := s.lookupBase(args.Edge, args.ID)
 	if err != nil {
 		return err
@@ -251,6 +265,7 @@ func (s *DeviceServer) lookupBase(edge int, id uint64) ([]float64, error) {
 // compute the way one simulator machine emulates a fleet, and cross-host
 // parallelism comes from the edge's concurrent dispatch.
 func (s *DeviceServer) TrainMany(args TrainManyArgs, reply *TrainManyReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	if err := args.Scheme.Validate(); err != nil {
 		return err
 	}
@@ -317,6 +332,7 @@ func (s *DeviceServer) TrainMany(args TrainManyArgs, reply *TrainManyReply) erro
 // CloudRound folds the hosted devices' experience buffers (Algorithm 2,
 // lines 2-4).
 func (s *DeviceServer) CloudRound(args CloudRoundArgs, reply *CloudRoundReply) error {
+	s.tel.Add(telemetry.CounterRPCCalls, 1)
 	s.book.CloudRound(args.Step)
 	*reply = CloudRoundReply{}
 	return nil

@@ -13,6 +13,7 @@ import (
 
 	"github.com/mach-fl/mach/internal/codec"
 	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // EdgeServer executes one edge's share of every time step: it fetches its
@@ -55,7 +56,13 @@ type EdgeServer struct {
 	commDown  atomic.Int64 // bytes we sent hosts: device downlink
 	uploads   atomic.Int64
 	downloads atomic.Int64
+
+	// tel counts served RPCs and step activity; nil disables it.
+	tel *telemetry.Telemetry
 }
+
+// SetTelemetry attaches a telemetry sink (nil detaches). Call before Serve.
+func (e *EdgeServer) SetTelemetry(t *telemetry.Telemetry) { e.tel = t }
 
 // Resolver maps a logical device ID to the address of the host serving it.
 // Deployments back it with static config or a registry.
@@ -134,12 +141,14 @@ func (e *EdgeServer) Close() error {
 
 // Ping implements the liveness RPC.
 func (e *EdgeServer) Ping(_ PingArgs, reply *PingReply) error {
+	e.tel.Add(telemetry.CounterRPCCalls, 1)
 	reply.Role = fmt.Sprintf("edge-%d", e.id)
 	return nil
 }
 
 // Comm reports the edge's measured device-host traffic.
 func (e *EdgeServer) Comm(_ CommArgs, reply *CommReply) error {
+	e.tel.Add(telemetry.CounterRPCCalls, 1)
 	reply.UplinkBytes = e.commUp.Load()
 	reply.DownlinkBytes = e.commDown.Load()
 	reply.Uploads = e.uploads.Load()
@@ -186,6 +195,10 @@ func (e *EdgeServer) groupByHost(members []int) (groups map[string][]int, addrs 
 
 // Step implements the edge's share of Algorithm 1 for one time step.
 func (e *EdgeServer) Step(args EdgeStepArgs, reply *EdgeStepReply) error {
+	e.tel.Add(telemetry.CounterRPCCalls, 1)
+	stepStart := e.tel.Now()
+	defer e.tel.ObserveSince(telemetry.HistStepNS, stepStart)
+	e.tel.Observe(telemetry.HistEdgeMembers, int64(len(args.Members)))
 	if err := args.Scheme.Validate(); err != nil {
 		return err
 	}
@@ -280,6 +293,8 @@ func (e *EdgeServer) installGlobal(args EdgeStepArgs) error {
 // finishStep fills the step reply: the full vector on the raw path, an
 // encoded blob only when the cloud asked for it on the codec paths.
 func (e *EdgeServer) finishStep(args EdgeStepArgs, sampled int, reply *EdgeStepReply) error {
+	e.tel.Observe(telemetry.HistEdgeSampled, int64(sampled))
+	e.tel.Add(telemetry.CounterDevicesTrained, int64(sampled))
 	reply.Sampled = sampled
 	if args.Scheme == codec.SchemeRaw {
 		e.mu.Lock()

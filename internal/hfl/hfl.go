@@ -27,6 +27,7 @@ import (
 	"github.com/mach-fl/mach/internal/nn"
 	"github.com/mach-fl/mach/internal/parallel"
 	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/telemetry"
 	"github.com/mach-fl/mach/internal/tensor"
 )
 
@@ -237,6 +238,20 @@ type Engine struct {
 	devices  []*device
 	test     *dataset.Dataset
 
+	// tel is the engine's observation sink; nil (the default) disables all
+	// instrumentation at zero cost. Its optional companions are discovered
+	// from the strategy in New: inspector reports estimator exploration
+	// stats at cloud rounds, estInScratch marks that the strategy leaves its
+	// per-member estimates in the decide context's scratch buffer, and
+	// probFloor (valid when hasProbFloor) is the strategy's probability
+	// floor, used to count clamp saturation. Telemetry reads simulation
+	// state but never feeds back into it (DESIGN.md §8).
+	tel          *telemetry.Telemetry
+	inspector    sampling.Introspector
+	estInScratch bool
+	probFloor    float64
+	hasProbFloor bool
+
 	global   []float64   // cloud model parameters w^t
 	edge     [][]float64 // edge model parameters w^t_n
 	evalNet  *nn.Network
@@ -279,6 +294,13 @@ type edgeDecideState struct {
 	rng   *rand.Rand
 	ctx   sampling.EdgeContext
 	probs []float64
+
+	// Trace buffers, filled during the (parallel) decide phase only when the
+	// step's decisions are being traced, and read by the sequential finalize
+	// phase, which emits them in edge order so trace output is deterministic.
+	coins      []float64
+	sampledIDs []int
+	droppedIDs []int
 }
 
 // evalShardState is one evaluation shard's private network and batch
@@ -341,6 +363,15 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 	if ip, ok := strategy.(sampling.InPlaceStrategy); ok {
 		e.inplace = ip
 	}
+	if insp, ok := strategy.(sampling.Introspector); ok {
+		e.inspector = insp
+	}
+	if se, ok := strategy.(sampling.ScratchEstimator); ok {
+		e.estInScratch = se.ScratchEstimates()
+	}
+	if fr, ok := strategy.(sampling.FloorReporter); ok {
+		e.probFloor, e.hasProbFloor = fr.ProbFloor(), true
+	}
 	for m, data := range deviceData {
 		if data == nil || data.Len() == 0 {
 			return nil, fmt.Errorf("hfl: device %d has no data", m)
@@ -367,6 +398,12 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 
 // Capacity returns K_n, the per-edge expected participation budget.
 func (e *Engine) Capacity() float64 { return e.capacity }
+
+// SetTelemetry attaches a telemetry sink (nil detaches). Call it before Run;
+// attaching mid-run races with the step loop. Telemetry is observational
+// only: the attached sink never changes what the engine computes, and
+// identically-seeded runs are bit-identical with and without it.
+func (e *Engine) SetTelemetry(t *telemetry.Telemetry) { e.tel = t }
 
 // SaveCheckpoint writes the current global model so a run can be inspected
 // or resumed in another process.

@@ -7,6 +7,7 @@ import (
 	"github.com/mach-fl/mach/internal/dataset"
 	"github.com/mach-fl/mach/internal/metrics"
 	"github.com/mach-fl/mach/internal/parallel"
+	"github.com/mach-fl/mach/internal/telemetry"
 	"github.com/mach-fl/mach/internal/tensor"
 )
 
@@ -130,11 +131,30 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 		e.pool = nil
 	}()
 
+	tr := e.tel.Trace()
+	tr.Emit(&telemetry.Event{Type: telemetry.EventRun, Run: &telemetry.RunEvent{
+		Strategy: e.strategy.Name(),
+		Seed:     e.cfg.Seed,
+		Devices:  e.schedule.Devices,
+		Edges:    e.schedule.Edges,
+		Steps:    e.cfg.Steps,
+		Capacity: e.capacity,
+		Every:    tr.Config().Every,
+		MaxEdges: tr.Config().MaxEdges,
+	}})
+	lastAcc := 0.0
+	emitDone := func() {
+		tr.Emit(&telemetry.Event{Type: telemetry.EventDone, Step: res.StepsRun, Done: &telemetry.DoneEvent{
+			StepsRun: res.StepsRun, TotalSampled: res.TotalSampled, FinalAccuracy: lastAcc,
+		}})
+	}
+
 	modelBytes := int64(len(e.global)) * 8
 	for t := 0; t < e.cfg.Steps; t++ {
 		// Decision phase: owns every RNG draw of the step. The membership
 		// index positions once per step (O(Devices+Edges), delta-updated),
 		// then independent edges decide concurrently.
+		stepStart := e.tel.Now()
 		e.memberIndex.Advance(t)
 		dg := e.pool.Group()
 		for n := 0; n < e.schedule.Edges; n++ {
@@ -146,11 +166,13 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 				return nil, fmt.Errorf("hfl: step %d edge %d: %w", t, n, err)
 			}
 		}
+		e.observePhase(t, telemetry.HistDecideNS, "decide", stepStart)
 
 		// Execution phase: per-device local SGD on the shared pool. Each
 		// task touches only its own device's state (the schedule assigns a
 		// device to exactly one edge per step) and reads the step's frozen
 		// edge models.
+		trainStart := e.tel.Now()
 		g := e.pool.Group()
 		for n := range e.plans {
 			edgeParams := e.edge[n]
@@ -162,9 +184,14 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 				})
 			}
 		}
+		e.tel.SetGauge(telemetry.GaugeQueueDepth, float64(e.pool.QueueDepth()))
 		g.Wait()
+		e.observePhase(t, telemetry.HistTrainNS, "train", trainStart)
 
-		// Finalize phase: member-order observation and aggregation.
+		// Finalize phase: member-order observation and aggregation, plus the
+		// serial, edge-ordered emission of the step's telemetry.
+		finStart := e.tel.Now()
+		var stepTel stepTelemetry
 		stepSampled := 0
 		for n := 0; n < e.schedule.Edges; n++ {
 			counts, err := e.edgeFinalize(t, n)
@@ -176,7 +203,19 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			res.Comm.DeviceUplinkBytes += int64(counts.uploaded) * modelBytes
 			res.Comm.DeviceDownloads += int64(counts.trained)
 			res.Comm.DeviceUploads += int64(counts.uploaded)
+			if e.tel != nil {
+				e.tel.Add(telemetry.CounterDevicesTrained, int64(counts.trained))
+				e.tel.Add(telemetry.CounterDevicesUploaded, int64(counts.uploaded))
+				e.tel.Add(telemetry.CounterUploadsDropped, int64(counts.trained-counts.uploaded))
+				e.tel.Add(telemetry.CounterDeviceDownlinkBytes, int64(counts.trained)*modelBytes)
+				e.tel.Add(telemetry.CounterDeviceUplinkBytes, int64(counts.uploaded)*modelBytes)
+				e.observeEdge(t, n, counts, &stepTel)
+			}
 		}
+		if e.tel != nil {
+			e.flushStepTelemetry(&stepTel)
+		}
+		e.observePhase(t, telemetry.HistAggregateNS, "finalize", finStart)
 		res.SampledPerStep = append(res.SampledPerStep, stepSampled)
 		res.TotalSampled += stepSampled
 		res.StepsRun = t + 1
@@ -198,15 +237,36 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 					d.opt.SetLearningRate(d.opt.LearningRate() * e.cfg.LRDecay)
 				}
 			}
+			if e.tel != nil {
+				e.tel.Add(telemetry.CounterCloudRounds, 1)
+				e.tel.Add(telemetry.CounterCloudBytes, 2*int64(e.schedule.Edges)*modelBytes)
+				if e.inspector != nil {
+					s := e.inspector.EstimatorStats()
+					e.tel.SetGauge(telemetry.GaugeNeverPulled, float64(s.NeverPulled))
+					e.tel.SetGauge(telemetry.GaugeMaxPulls, float64(s.MaxPulls))
+					tr.Emit(&telemetry.Event{Type: telemetry.EventEstimator, Step: t + 1, Estimator: &telemetry.EstimatorEvent{
+						Devices: s.Devices, NeverPulled: s.NeverPulled, TotalPulls: s.TotalPulls, MaxPulls: s.MaxPulls,
+					}})
+				}
+			}
 		}
 		evalDue := cloudRound
 		if e.cfg.EvalEvery > 0 {
 			evalDue = (t+1)%e.cfg.EvalEvery == 0
 		}
 		if evalDue || t == e.cfg.Steps-1 {
+			evalStart := e.tel.Now()
 			acc, loss, err := e.evaluate(t)
 			if err != nil {
 				return nil, fmt.Errorf("hfl: step %d: %w", t, err)
+			}
+			e.observePhase(t, telemetry.HistEvalNS, "eval", evalStart)
+			lastAcc = acc
+			if e.tel != nil {
+				e.tel.Add(telemetry.CounterEvals, 1)
+				e.tel.SetGauge(telemetry.GaugeAccuracy, acc)
+				e.tel.SetGauge(telemetry.GaugeLoss, loss)
+				tr.Emit(&telemetry.Event{Type: telemetry.EventEval, Step: t + 1, Eval: &telemetry.EvalEvent{Accuracy: acc, Loss: loss}})
 			}
 			res.History.Add(metrics.Point{Step: t + 1, Accuracy: acc, Loss: loss})
 			if o.evalFn != nil {
@@ -215,11 +275,110 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			if o.hasTgt && acc >= o.target {
 				res.ReachedTarget = true
 				res.TargetStep = t + 1
+				emitDone()
 				return res, nil
 			}
 		}
+		e.tel.Add(telemetry.CounterSteps, 1)
+		e.tel.ObserveSince(telemetry.HistStepNS, stepStart)
 	}
+	emitDone()
 	return res, nil
+}
+
+// observePhase records one phase's duration in its histogram and — when the
+// trace records this step — as a phase event. With no telemetry attached it
+// does nothing (and, via the nil clock, reads no time at all).
+func (e *Engine) observePhase(t int, h telemetry.Hist, name string, start int64) {
+	if e.tel == nil {
+		return
+	}
+	ns := e.tel.Now() - start
+	e.tel.Observe(h, ns)
+	if tr := e.tel.Trace(); tr.StepActive(t) {
+		tr.Emit(&telemetry.Event{Type: telemetry.EventPhase, Step: t, Phase: &telemetry.PhaseEvent{Name: name, NS: ns}})
+	}
+}
+
+// stepTelemetry accumulates one step's cross-edge sampling observations,
+// folded serially during the finalize loop and flushed once per step.
+type stepTelemetry struct {
+	ucbMin, ucbMax, ucbSum float64
+	ucbCount               int
+	probMass               float64
+	floorClamps            int64
+	ceilClamps             int64
+}
+
+// observeEdge folds one edge's decision into the step accumulator and, when
+// the trace records this decision, emits the complete decision event. It
+// runs on the sequential finalize path in edge order, which is what makes
+// trace output deterministic; the decide-phase buffers it reads (probs,
+// scratch estimates, coins) stay valid until the edge's next decide.
+func (e *Engine) observeEdge(t, n int, counts edgeStepCounts, acc *stepTelemetry) {
+	members := e.memberIndex.Members(n)
+	e.tel.Observe(telemetry.HistEdgeMembers, int64(len(members)))
+	e.tel.Observe(telemetry.HistEdgeSampled, int64(counts.trained))
+	if len(members) == 0 {
+		return // edgeDecide returned early; decide-state buffers are stale
+	}
+	st := &e.decide[n]
+	if len(st.probs) < len(members) {
+		return
+	}
+	probs := st.probs[:len(members)]
+	for _, q := range probs {
+		acc.probMass += q
+		if e.hasProbFloor && q <= e.probFloor {
+			acc.floorClamps++
+		}
+		if q >= 1 {
+			acc.ceilClamps++
+		}
+	}
+	estimates := st.ctx.Scratch
+	if !e.estInScratch || len(estimates) < len(members) {
+		estimates = nil
+	} else {
+		estimates = estimates[:len(members)]
+	}
+	for _, g := range estimates {
+		if acc.ucbCount == 0 || g < acc.ucbMin {
+			acc.ucbMin = g
+		}
+		if acc.ucbCount == 0 || g > acc.ucbMax {
+			acc.ucbMax = g
+		}
+		acc.ucbSum += g
+		acc.ucbCount++
+	}
+	tr := e.tel.Trace()
+	if !tr.DecisionActive(t, n) {
+		return
+	}
+	// Emit encodes synchronously, so handing it the engine's live buffers is
+	// safe: they are not touched again until the next decide phase.
+	tr.Emit(&telemetry.Event{Type: telemetry.EventDecision, Step: t, Decision: &telemetry.DecisionEvent{
+		Edge:      n,
+		Members:   members,
+		Estimates: estimates,
+		Probs:     probs,
+		Coins:     st.coins,
+		Sampled:   st.sampledIDs,
+		Dropped:   st.droppedIDs,
+	}})
+}
+
+// flushStepTelemetry publishes the step accumulator's gauges and counters.
+func (e *Engine) flushStepTelemetry(acc *stepTelemetry) {
+	e.tel.Add(telemetry.CounterProbFloorClamps, acc.floorClamps)
+	e.tel.Add(telemetry.CounterProbCeilClamps, acc.ceilClamps)
+	e.tel.SetGauge(telemetry.GaugeProbMass, acc.probMass)
+	if acc.ucbCount > 0 {
+		e.tel.SetGauge(telemetry.GaugeUCBMin, acc.ucbMin)
+		e.tel.SetGauge(telemetry.GaugeUCBMean, acc.ucbSum/float64(acc.ucbCount))
+		e.tel.SetGauge(telemetry.GaugeUCBMax, acc.ucbMax)
+	}
 }
 
 // edgeStepCounts reports one edge's activity in one step: how many devices
@@ -273,14 +432,27 @@ func (e *Engine) edgeDecide(t, n int) error {
 		probs = st.probs
 	} else {
 		probs = e.strategy.Probabilities(&st.ctx)
+		st.probs = probs // finalize-phase telemetry reads the step's vector
 	}
 	if len(probs) != len(members) {
 		return fmt.Errorf("strategy %q returned %d probabilities for %d members", e.strategy.Name(), len(probs), len(members))
 	}
+	// DecisionActive is a pure function of (step, edge), so this agrees with
+	// the finalize phase's emission gate without any shared state.
+	tracing := e.tel.Trace().DecisionActive(t, n)
+	if tracing {
+		st.coins = st.coins[:0]
+		st.sampledIDs = st.sampledIDs[:0]
+		st.droppedIDs = st.droppedIDs[:0]
+	}
 	unbiased := e.strategy.Unbiased()
 	for i, m := range members {
 		q := probs[i]
-		if st.rng.Float64() >= q {
+		coin := st.rng.Float64()
+		if tracing {
+			st.coins = append(st.coins, coin)
+		}
+		if coin >= q {
 			continue // not sampled: 1^t_{m,n} = 0
 		}
 		if unbiased && q <= 0 {
@@ -289,6 +461,12 @@ func (e *Engine) edgeDecide(t, n int) error {
 		upload := true
 		if e.cfg.UploadFailureProb > 0 && st.rng.Float64() < e.cfg.UploadFailureProb {
 			upload = false // device moved away before uploading (see Config)
+		}
+		if tracing {
+			st.sampledIDs = append(st.sampledIDs, m)
+			if !upload {
+				st.droppedIDs = append(st.droppedIDs, m)
+			}
 		}
 		weight := 1.0
 		if unbiased {
@@ -459,6 +637,7 @@ func (e *Engine) cloudAggregate(t int) {
 // probed model, batch and optimizer depend only on (seed, t, n, m), and a
 // device is attached to exactly one edge per step.
 func (e *Engine) probeGradNorm(t, n, m int) float64 {
+	e.tel.Add(telemetry.CounterProbes, 1)
 	e.probeMu.Lock()
 	defer e.probeMu.Unlock()
 	if err := e.probeNet.SetParamVector(e.edge[n]); err != nil {

@@ -1,0 +1,222 @@
+package hfl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/telemetry"
+)
+
+// runTelemetryRun executes the golden-regression config (12 devices, 3
+// edges, 12 steps, MACH, seed 21) with the given telemetry sink attached.
+func runTelemetryRun(t *testing.T, tel *telemetry.Telemetry) (*Result, []float64) {
+	t.Helper()
+	parts, test, sched := tinySetup(t, 12, 3, 12, 21)
+	cfg := tinyConfig(12, 21)
+	cfg.Workers = 3
+	cfg.UploadFailureProb = 0.2
+	cfg.EvalBatch = 100
+	s, err := sampling.NewMACH(12, sampling.DefaultMACHConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cfg, tinyArch, parts, test, sched, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetTelemetry(tel)
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng.GlobalParams()
+}
+
+// TestRunBitIdenticalWithTelemetry is the observability contract: attaching
+// a full telemetry sink (metrics AND a complete decision trace) must not
+// change a single bit of the run — sampling decisions, evaluation history
+// and final parameters all match the telemetry-free run exactly.
+func TestRunBitIdenticalWithTelemetry(t *testing.T) {
+	refRes, refParams := runTelemetryRun(t, nil)
+
+	var traceBuf bytes.Buffer
+	tel := telemetry.New()
+	tel.SetTrace(telemetry.NewTrace(&traceBuf, telemetry.TraceConfig{}))
+	res, params := runTelemetryRun(t, tel)
+	if err := tel.Trace().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.SampledPerStep) != len(refRes.SampledPerStep) {
+		t.Fatalf("steps: %d vs %d", len(res.SampledPerStep), len(refRes.SampledPerStep))
+	}
+	for i, want := range refRes.SampledPerStep {
+		if res.SampledPerStep[i] != want {
+			t.Fatalf("SampledPerStep[%d] = %d with telemetry, %d without", i, res.SampledPerStep[i], want)
+		}
+	}
+	if res.TotalSampled != refRes.TotalSampled || res.Comm != refRes.Comm {
+		t.Fatalf("totals diverged under telemetry: %+v vs %+v", res, refRes)
+	}
+	refPts, pts := refRes.History.Points, res.History.Points
+	if len(pts) != len(refPts) {
+		t.Fatalf("history: %d points vs %d", len(pts), len(refPts))
+	}
+	for i := range refPts {
+		if math.Float64bits(pts[i].Accuracy) != math.Float64bits(refPts[i].Accuracy) ||
+			math.Float64bits(pts[i].Loss) != math.Float64bits(refPts[i].Loss) {
+			t.Fatalf("history[%d] = %+v with telemetry, %+v without", i, pts[i], refPts[i])
+		}
+	}
+	for j, want := range refParams {
+		if math.Float64bits(params[j]) != math.Float64bits(want) {
+			t.Fatalf("global param %d = %v with telemetry, %v without", j, params[j], want)
+		}
+	}
+
+	// Metrics must agree with the run's own accounting.
+	if got := tel.Count(telemetry.CounterSteps); got != int64(refRes.StepsRun) {
+		t.Fatalf("steps counter = %d, want %d", got, refRes.StepsRun)
+	}
+	if got := tel.Count(telemetry.CounterDevicesUploaded); got != int64(refRes.TotalSampled) {
+		t.Fatalf("uploaded counter = %d, want %d", got, refRes.TotalSampled)
+	}
+	if trained := tel.Count(telemetry.CounterDevicesTrained); trained < int64(refRes.TotalSampled) {
+		t.Fatalf("trained counter %d below uploaded %d", trained, refRes.TotalSampled)
+	}
+	if got := tel.Count(telemetry.CounterDeviceUplinkBytes); got != refRes.Comm.DeviceUplinkBytes {
+		t.Fatalf("uplink bytes counter = %d, want %d", got, refRes.Comm.DeviceUplinkBytes)
+	}
+	if got := tel.Count(telemetry.CounterCloudBytes); got != refRes.Comm.CloudBytes {
+		t.Fatalf("cloud bytes counter = %d, want %d", got, refRes.Comm.CloudBytes)
+	}
+}
+
+// TestTraceReconstructsDecisions drives the full trace pipeline end to end:
+// two identically-seeded runs produce traces with zero divergence, and every
+// recorded decision is internally consistent — the coin/probability
+// comparison reproduces the sampled set, and Why reconstructs a device's
+// fate from the raw events.
+func TestTraceReconstructsDecisions(t *testing.T) {
+	record := func() ([]telemetry.Event, *Result) {
+		var buf bytes.Buffer
+		tel := telemetry.New()
+		tel.SetTrace(telemetry.NewTrace(&buf, telemetry.TraceConfig{}))
+		res, _ := runTelemetryRun(t, tel)
+		if err := tel.Trace().Close(); err != nil {
+			t.Fatal(err)
+		}
+		events, err := telemetry.ReadEvents(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events, res
+	}
+	ea, res := record()
+	eb, _ := record()
+	if div := telemetry.Diff(ea, eb); div != nil {
+		t.Fatalf("identically-seeded traces diverge: %+v", div[0])
+	}
+
+	decisions := 0
+	var probe *telemetry.DecisionEvent
+	probeStep := 0
+	for i := range ea {
+		ev := &ea[i]
+		if ev.Type != telemetry.EventDecision {
+			continue
+		}
+		decisions++
+		d := ev.Decision
+		if len(d.Probs) != len(d.Members) || len(d.Coins) != len(d.Members) {
+			t.Fatalf("step %d edge %d: %d members, %d probs, %d coins", ev.Step, d.Edge, len(d.Members), len(d.Probs), len(d.Coins))
+		}
+		if len(d.Estimates) != len(d.Members) {
+			t.Fatalf("step %d edge %d: MACH decision lacks estimates", ev.Step, d.Edge)
+		}
+		// Replay the Bernoulli comparisons: they must reproduce Sampled.
+		var sampled []int
+		for i, m := range d.Members {
+			if d.Coins[i] < d.Probs[i] {
+				sampled = append(sampled, m)
+			}
+		}
+		if len(sampled) != len(d.Sampled) {
+			t.Fatalf("step %d edge %d: replayed %d sampled, recorded %d", ev.Step, d.Edge, len(sampled), len(d.Sampled))
+		}
+		for i, m := range d.Sampled {
+			if sampled[i] != m {
+				t.Fatalf("step %d edge %d: replayed sampled %v, recorded %v", ev.Step, d.Edge, sampled, d.Sampled)
+			}
+		}
+		if probe == nil && len(d.Sampled) > 0 {
+			probe, probeStep = d, ev.Step
+		}
+	}
+	if decisions == 0 {
+		t.Fatal("trace recorded no decisions")
+	}
+	if probe == nil {
+		t.Fatal("no decision sampled any device")
+	}
+
+	// Why must reconstruct a sampled device's decision from the raw trace.
+	r, err := telemetry.Why(ea, probe.Sampled[0], probeStep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sampled || r.Edge != probe.Edge || !(r.Coin < r.Prob) {
+		t.Fatalf("Why(%d, %d) = %+v, want a sampled reconstruction on edge %d", probe.Sampled[0], probeStep, r, probe.Edge)
+	}
+	if !r.HasEstimate {
+		t.Fatalf("Why(%d, %d) lacks the UCB estimate", probe.Sampled[0], probeStep)
+	}
+
+	// The uploads dropped by failure coins must be visible in the trace.
+	dropped := 0
+	for i := range ea {
+		if ea[i].Type == telemetry.EventDecision {
+			dropped += len(ea[i].Decision.Dropped)
+		}
+	}
+	trained := 0
+	for i := range ea {
+		if ea[i].Type == telemetry.EventDecision {
+			trained += len(ea[i].Decision.Sampled)
+		}
+	}
+	if trained-dropped != res.TotalSampled {
+		t.Fatalf("trace sampled %d − dropped %d ≠ uploaded %d", trained, dropped, res.TotalSampled)
+	}
+}
+
+// TestDecideWarmPathZeroAllocNilTelemetry pins the disabled-telemetry cost
+// of the decision hot path at exactly zero allocations: with the decide
+// state warm, a full edge decision (UCB estimates, probabilities, every
+// coin) must not allocate when no sink is attached.
+func TestDecideWarmPathZeroAllocNilTelemetry(t *testing.T) {
+	parts, test, sched := tinySetup(t, 12, 3, 12, 21)
+	cfg := tinyConfig(12, 21)
+	s, err := sampling.NewMACH(12, sampling.DefaultMACHConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cfg, tinyArch, parts, test, sched, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.memberIndex.Advance(0)
+	if err := eng.edgeDecide(0, 0); err != nil { // warm-up installs the buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := eng.edgeDecide(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm decide path allocates %.1f per edge with telemetry disabled, want 0", allocs)
+	}
+}

@@ -2,5 +2,5 @@ package lint
 
 // Analyzers returns the full machlint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapRange, GlobalRand, FloatEq, ErrDrop, MutexCopy}
+	return []*Analyzer{MapRange, GlobalRand, WallTime, FloatEq, ErrDrop, MutexCopy}
 }

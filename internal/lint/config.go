@@ -91,7 +91,11 @@ func (c *Config) Keep(names []string) {
 //     order-dependent accumulation in a test is a flaky test.
 //   - globalrand guards the deterministic simulation core. The benchmark
 //     harness and the CLIs legitimately read the wall clock, and tests may
-//     time things, so those are exempt.
+//     time things, so those are exempt. internal/telemetry is the sanctioned
+//     clock site (DESIGN.md §8) and is exempt too.
+//   - walltime guards everything except internal/telemetry: even harness and
+//     CLI code must read wall time through telemetry.WallNow/WallSince so the
+//     repo has exactly one clock site to audit.
 //   - floateq and errdrop guard non-test code everywhere; tests compare
 //     floats exactly on purpose (bit-identity contracts) and may drop
 //     errors for brevity.
@@ -102,7 +106,12 @@ func DefaultConfig() *Config {
 		"globalrand": {
 			Enabled:   true,
 			SkipTests: true,
-			Skip:      []string{"internal/bench", "cmd", "examples"},
+			Skip:      []string{"internal/bench", "internal/telemetry", "cmd", "examples"},
+		},
+		"walltime": {
+			Enabled:   true,
+			SkipTests: true,
+			Skip:      []string{"internal/telemetry"},
 		},
 		"floateq": {Enabled: true, SkipTests: true},
 		"errdrop": {

@@ -60,7 +60,7 @@ func runGlobalRand(p *Pass) {
 				}
 			case "time":
 				if clockFuncs[fn.Name()] {
-					p.Reportf(sel.Pos(), "wall-clock read %s.%s inside the simulation core breaks reproducibility; measure time in internal/bench or cmd instead", pkgIdent.Name, fn.Name())
+					p.Reportf(sel.Pos(), "wall-clock read %s.%s inside the simulation core breaks reproducibility; measure time through internal/telemetry's clock instead", pkgIdent.Name, fn.Name())
 				}
 			}
 			return true

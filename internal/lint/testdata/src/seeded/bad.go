@@ -7,6 +7,7 @@ package seeded
 import (
 	"math/rand"
 	"sync"
+	"time"
 )
 
 type guarded struct {
@@ -24,6 +25,7 @@ func violations(m map[string]float64, g guarded) float64 { // mutexcopy
 	if total == 0.5 { // floateq
 		total = rand.Float64() // globalrand
 	}
-	mayFail() // errdrop
+	mayFail()                                 // errdrop
+	total += float64(time.Now().Nanosecond()) // walltime
 	return total + float64(g.n)
 }

@@ -1,0 +1,24 @@
+// Package fixture exercises the walltime analyzer: direct wall-clock reads
+// are hazards; constants, types, non-clock time functions and methods on
+// time values are not.
+package fixture
+
+import "time"
+
+func hazards() time.Duration {
+	start := time.Now()      // want "wall-clock read"
+	_ = time.Now()           // want "wall-clock read"
+	_ = time.Until(start)    // want "wall-clock read"
+	return time.Since(start) // want "wall-clock read"
+}
+
+func fine() time.Duration {
+	d := 3 * time.Second // constants and types
+	t := time.Unix(0, 0) // non-clock time functions
+	u := t.Add(d)        // methods on time values
+	return u.Sub(t)
+}
+
+func waived() time.Time {
+	return time.Now() //machlint:allow walltime process-start anchor, taken once before any simulation state exists
+}

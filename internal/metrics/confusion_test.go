@@ -71,6 +71,73 @@ func TestConfusionMacroVsMicroOnImbalance(t *testing.T) {
 	}
 }
 
+func TestConfusionNoSamples(t *testing.T) {
+	c, err := NewConfusion(3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 0 {
+		t.Fatalf("total %d, want 0", c.Total())
+	}
+	if c.Accuracy() != 0 {
+		t.Fatalf("empty accuracy %v, want 0", c.Accuracy())
+	}
+	if c.MacroRecall() != 0 {
+		t.Fatalf("empty macro recall %v, want 0", c.MacroRecall())
+	}
+	for i, r := range c.Recall() {
+		if r != 0 {
+			t.Fatalf("empty recall[%d] = %v, want 0", i, r)
+		}
+	}
+	var sb strings.Builder
+	if err := c.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfusionSingleClass(t *testing.T) {
+	// With one class, every in-range prediction is necessarily correct.
+	c, err := NewConfusion(1, []int{0, 0, 0}, []int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accuracy() != 1 {
+		t.Fatalf("single-class accuracy %v, want 1", c.Accuracy())
+	}
+	if c.MacroRecall() != 1 {
+		t.Fatalf("single-class macro recall %v, want 1", c.MacroRecall())
+	}
+	if got := c.Recall(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("single-class recall %v, want [1]", got)
+	}
+}
+
+func TestConfusionAllWrong(t *testing.T) {
+	// Every prediction misses; both views must hit exactly zero, and the
+	// off-diagonal counts must hold the full mass.
+	pred := []int{1, 0, 1, 0}
+	labels := []int{0, 1, 0, 1}
+	c, err := NewConfusion(2, pred, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accuracy() != 0 {
+		t.Fatalf("all-wrong accuracy %v, want 0", c.Accuracy())
+	}
+	if c.MacroRecall() != 0 {
+		t.Fatalf("all-wrong macro recall %v, want 0", c.MacroRecall())
+	}
+	for i, r := range c.Recall() {
+		if r != 0 {
+			t.Fatalf("all-wrong recall[%d] = %v, want 0", i, r)
+		}
+	}
+	if c.Counts[0][1] != 2 || c.Counts[1][0] != 2 || c.Counts[0][0] != 0 || c.Counts[1][1] != 0 {
+		t.Fatalf("counts wrong: %v", c.Counts)
+	}
+}
+
 func TestConfusionEmptyClassesIgnoredInMacro(t *testing.T) {
 	c, err := NewConfusion(5, []int{0, 1}, []int{0, 1})
 	if err != nil {

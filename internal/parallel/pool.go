@@ -52,6 +52,16 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// QueueDepth returns the number of submitted tasks not yet picked up by a
+// worker. It is an instantaneous reading of the submission buffer — a
+// telemetry observation, not a synchronization primitive.
+func (p *Pool) QueueDepth() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.tasks)
+}
+
 // Close stops the workers after draining all submitted tasks. The pool must
 // not be used afterwards; Close is idempotent.
 func (p *Pool) Close() {

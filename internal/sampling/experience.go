@@ -130,6 +130,34 @@ func (b *ExperienceBook) LastAverage(m int, fallback float64) float64 {
 	return d.lastAvg
 }
 
+// EstimatorStats summarizes an estimator's exploration state: how much of
+// the population has ever been pulled and how concentrated participation is.
+type EstimatorStats struct {
+	Devices     int
+	NeverPulled int
+	TotalPulls  int
+	MaxPulls    int
+}
+
+// Stats aggregates participation counts over every tracked device under a
+// single lock.
+func (b *ExperienceBook) Stats() EstimatorStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := EstimatorStats{Devices: len(b.devices)}
+	for m := range b.devices {
+		d := &b.devices[m]
+		if !d.seen {
+			s.NeverPulled++
+		}
+		s.TotalPulls += d.steps
+		if d.steps > s.MaxPulls {
+			s.MaxPulls = d.steps
+		}
+	}
+	return s
+}
+
 // Participations returns how many time steps device m has participated in.
 func (b *ExperienceBook) Participations(m int) int {
 	b.mu.Lock()

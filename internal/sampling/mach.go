@@ -76,8 +76,11 @@ type MACH struct {
 }
 
 var (
-	_ InPlaceStrategy = (*MACH)(nil)
-	_ Observer        = (*MACH)(nil)
+	_ InPlaceStrategy  = (*MACH)(nil)
+	_ Observer         = (*MACH)(nil)
+	_ Introspector     = (*MACH)(nil)
+	_ ScratchEstimator = (*MACH)(nil)
+	_ FloorReporter    = (*MACH)(nil)
 )
 
 // NewMACH returns a MACH strategy tracking numDevices devices.
@@ -96,6 +99,16 @@ func (*MACH) Unbiased() bool { return true }
 
 // Book exposes the experience book for inspection in tests and analysis.
 func (s *MACH) Book() *ExperienceBook { return s.book }
+
+// EstimatorStats implements Introspector.
+func (s *MACH) EstimatorStats() EstimatorStats { return s.book.Stats() }
+
+// ScratchEstimates implements ScratchEstimator: ProbabilitiesInto leaves the
+// UCB estimates of Eq. (15) in ctx.Scratch.
+func (*MACH) ScratchEstimates() bool { return true }
+
+// ProbFloor implements FloorReporter.
+func (s *MACH) ProbFloor() float64 { return s.cfg.QMin }
 
 // Observe implements Observer (Algorithm 2, line 1). The edge is ignored:
 // MACH's experience buffer lives on the device, so experiences follow the

@@ -17,7 +17,11 @@ type MACHP struct {
 	cache map[int]float64 // device → probed norm, valid for the current step
 }
 
-var _ InPlaceStrategy = (*MACHP)(nil)
+var (
+	_ InPlaceStrategy  = (*MACHP)(nil)
+	_ ScratchEstimator = (*MACHP)(nil)
+	_ FloorReporter    = (*MACHP)(nil)
+)
 
 // NewMACHP returns the perfect-information MACH variant.
 func NewMACHP(cfg MACHConfig) (*MACHP, error) {
@@ -32,6 +36,13 @@ func (*MACHP) Name() string { return "mach-p" }
 
 // Unbiased implements Strategy.
 func (*MACHP) Unbiased() bool { return true }
+
+// ScratchEstimates implements ScratchEstimator: ProbabilitiesInto leaves the
+// probed true squared gradient norms in ctx.Scratch.
+func (*MACHP) ScratchEstimates() bool { return true }
+
+// ProbFloor implements FloorReporter.
+func (s *MACHP) ProbFloor() float64 { return s.cfg.QMin }
 
 // Probabilities implements Strategy: the probed true norms fed through the
 // Eq. (16)-(18) pipeline of EdgeSampling.

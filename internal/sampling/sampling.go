@@ -76,6 +76,30 @@ type InPlaceStrategy interface {
 	ProbabilitiesInto(ctx *EdgeContext, dst []float64) []float64
 }
 
+// Introspector is implemented by strategies whose estimator can report
+// exploration health (never-pulled counts, pull concentration). The engine
+// records the stats through its telemetry sink at cloud rounds; they are
+// observations only and never feed back into sampling.
+type Introspector interface {
+	EstimatorStats() EstimatorStats
+}
+
+// ScratchEstimator marks strategies whose ProbabilitiesInto leaves the
+// per-member estimates that produced the probabilities in ctx.Scratch,
+// aligned with ctx.Members and valid until the context's next use. The
+// engine's trace sink reads them to record complete sampling decisions
+// without recomputing estimates.
+type ScratchEstimator interface {
+	ScratchEstimates() bool
+}
+
+// FloorReporter is implemented by strategies that clamp probabilities to a
+// floor; telemetry uses it to count floor/ceiling clamp events without
+// hard-coding strategy internals.
+type FloorReporter interface {
+	ProbFloor() float64
+}
+
 // ensureLen returns dst resized to n, reallocating only when cap(dst) < n.
 // Contents are unspecified; callers overwrite every element.
 func ensureLen(dst []float64, n int) []float64 {

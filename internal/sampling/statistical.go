@@ -33,8 +33,10 @@ type Statistical struct {
 }
 
 var (
-	_ InPlaceStrategy = (*Statistical)(nil)
-	_ Observer        = (*Statistical)(nil)
+	_ InPlaceStrategy  = (*Statistical)(nil)
+	_ Observer         = (*Statistical)(nil)
+	_ ScratchEstimator = (*Statistical)(nil)
+	_ FloorReporter    = (*Statistical)(nil)
 )
 
 // NewStatistical returns the statistical sampling baseline. qMin floors the
@@ -57,6 +59,13 @@ func (*Statistical) Name() string { return "statistical" }
 
 // Unbiased implements Strategy.
 func (*Statistical) Unbiased() bool { return true }
+
+// ScratchEstimates implements ScratchEstimator: ProbabilitiesInto leaves the
+// last-window-average norm estimates in ctx.Scratch.
+func (*Statistical) ScratchEstimates() bool { return true }
+
+// ProbFloor implements FloorReporter.
+func (s *Statistical) ProbFloor() float64 { return s.qMin }
 
 func (s *Statistical) book(edge int) *ExperienceBook {
 	s.mu.Lock()

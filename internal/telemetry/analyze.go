@@ -1,0 +1,369 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the analysis half of the trace format: cmd/machtrace is a
+// thin CLI over ReadEvents, Summarize, Why and Diff, which live here so
+// they are testable without a process boundary.
+
+// ReadEvents decodes a JSONL trace stream.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<16))
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: trace event %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// PhaseSummary aggregates one phase's timing events.
+type PhaseSummary struct {
+	Name    string
+	Count   int
+	TotalNS int64
+}
+
+// MassPoint is one step's probability-mass aggregate over the recorded
+// decision events: Mass = Σ q (the expected sampled count, Eq. 3),
+// Members and Sampled the realized totals.
+type MassPoint struct {
+	Step    int
+	Mass    float64
+	Members int
+	Sampled int
+}
+
+// EvalPoint is one recorded evaluation.
+type EvalPoint struct {
+	Step     int
+	Accuracy float64
+	Loss     float64
+}
+
+// EstimatorPoint is one recorded estimator snapshot.
+type EstimatorPoint struct {
+	Step int
+	EstimatorEvent
+}
+
+// Summary is the digest of one trace.
+type Summary struct {
+	Run        *RunEvent
+	Done       *DoneEvent
+	Events     int
+	Steps      int // steps with at least one recorded decision
+	Decisions  int
+	Phases     []PhaseSummary // ordered by first appearance
+	Evals      []EvalPoint
+	Estimators []EstimatorPoint
+	Mass       []MassPoint // ordered by step
+}
+
+// Summarize digests a trace: per-phase time totals, the evaluation curve,
+// exploration health over cloud rounds, and the probability-mass drift
+// across steps.
+func Summarize(events []Event) *Summary {
+	s := &Summary{Events: len(events)}
+	phaseIdx := map[string]int{}
+	massIdx := map[int]int{}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Type {
+		case EventRun:
+			if s.Run == nil {
+				s.Run = ev.Run
+			}
+		case EventDone:
+			s.Done = ev.Done
+		case EventPhase:
+			if ev.Phase == nil {
+				continue
+			}
+			j, ok := phaseIdx[ev.Phase.Name]
+			if !ok {
+				j = len(s.Phases)
+				phaseIdx[ev.Phase.Name] = j
+				s.Phases = append(s.Phases, PhaseSummary{Name: ev.Phase.Name})
+			}
+			s.Phases[j].Count++
+			s.Phases[j].TotalNS += ev.Phase.NS
+		case EventEval:
+			if ev.Eval != nil {
+				s.Evals = append(s.Evals, EvalPoint{Step: ev.Step, Accuracy: ev.Eval.Accuracy, Loss: ev.Eval.Loss})
+			}
+		case EventEstimator:
+			if ev.Estimator != nil {
+				s.Estimators = append(s.Estimators, EstimatorPoint{Step: ev.Step, EstimatorEvent: *ev.Estimator})
+			}
+		case EventDecision:
+			d := ev.Decision
+			if d == nil {
+				continue
+			}
+			s.Decisions++
+			j, ok := massIdx[ev.Step]
+			if !ok {
+				j = len(s.Mass)
+				massIdx[ev.Step] = j
+				s.Mass = append(s.Mass, MassPoint{Step: ev.Step})
+				s.Steps++
+			}
+			mp := &s.Mass[j]
+			for _, q := range d.Probs {
+				mp.Mass += q
+			}
+			mp.Members += len(d.Members)
+			mp.Sampled += len(d.Sampled)
+		}
+	}
+	sort.Slice(s.Mass, func(i, j int) bool { return s.Mass[i].Step < s.Mass[j].Step })
+	return s
+}
+
+// Write renders the summary as a text report.
+func (s *Summary) Write(w io.Writer) error {
+	if s.Run != nil {
+		fmt.Fprintf(w, "run: strategy=%s seed=%d devices=%d edges=%d steps=%d capacity=%.3f (trace every=%d max-edges=%d)\n",
+			s.Run.Strategy, s.Run.Seed, s.Run.Devices, s.Run.Edges, s.Run.Steps, s.Run.Capacity, s.Run.Every, s.Run.MaxEdges)
+	}
+	fmt.Fprintf(w, "events: %d total, %d decisions over %d recorded steps\n", s.Events, s.Decisions, s.Steps)
+
+	if len(s.Phases) > 0 {
+		total := int64(0)
+		for _, p := range s.Phases {
+			total += p.TotalNS
+		}
+		fmt.Fprintf(w, "\nphase breakdown:\n")
+		for _, p := range s.Phases {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(p.TotalNS) / float64(total)
+			}
+			mean := int64(0)
+			if p.Count > 0 {
+				mean = p.TotalNS / int64(p.Count)
+			}
+			fmt.Fprintf(w, "  %-10s %12d ns total  %10d ns/step  %5.1f%%\n", p.Name, p.TotalNS, mean, pct)
+		}
+	}
+
+	if len(s.Estimators) > 0 {
+		fmt.Fprintf(w, "\nexploration health (cloud rounds):\n")
+		for _, e := range s.Estimators {
+			frac := 0.0
+			if e.Devices > 0 {
+				frac = 100 * float64(e.NeverPulled) / float64(e.Devices)
+			}
+			fmt.Fprintf(w, "  step %4d: never-pulled %d/%d (%.1f%%), total pulls %d, max pulls %d\n",
+				e.Step, e.NeverPulled, e.Devices, frac, e.TotalPulls, e.MaxPulls)
+		}
+	}
+
+	if len(s.Mass) > 0 {
+		first, last := s.Mass[0], s.Mass[len(s.Mass)-1]
+		min, max := first, first
+		for _, m := range s.Mass {
+			if m.Mass < min.Mass {
+				min = m
+			}
+			if m.Mass > max.Mass {
+				max = m
+			}
+		}
+		fmt.Fprintf(w, "\nprobability mass (Σq per recorded step):\n")
+		fmt.Fprintf(w, "  first step %4d: mass %.3f over %d members (%d sampled)\n", first.Step, first.Mass, first.Members, first.Sampled)
+		fmt.Fprintf(w, "  last  step %4d: mass %.3f over %d members (%d sampled)\n", last.Step, last.Mass, last.Members, last.Sampled)
+		fmt.Fprintf(w, "  min %.3f at step %d, max %.3f at step %d, drift %+.3f\n",
+			min.Mass, min.Step, max.Mass, max.Step, last.Mass-first.Mass)
+	}
+
+	if len(s.Evals) > 0 {
+		last := s.Evals[len(s.Evals)-1]
+		fmt.Fprintf(w, "\nevaluations: %d, last at step %d: accuracy %.4f, loss %.4f\n",
+			len(s.Evals), last.Step, last.Accuracy, last.Loss)
+	}
+	if s.Done != nil {
+		fmt.Fprintf(w, "done: %d steps, %d participations, final accuracy %.4f\n",
+			s.Done.StepsRun, s.Done.TotalSampled, s.Done.FinalAccuracy)
+	}
+	return nil
+}
+
+// WhyReport reconstructs one device's sampling decision from a trace.
+type WhyReport struct {
+	Device int
+	Step   int
+	Edge   int
+
+	Members     int
+	HasEstimate bool
+	Estimate    float64
+	Prob        float64
+	Coin        float64
+	Sampled     bool
+	Dropped     bool
+
+	// EdgeMass and EdgeMeanProb contextualize the device's probability
+	// within its edge's decision.
+	EdgeMass     float64
+	EdgeMeanProb float64
+	Capacity     float64
+	HasCapacity  bool
+}
+
+// Why locates the decision event covering (device, step) and reconstructs
+// the device's fate: the estimate that fed its probability, the coin that
+// decided it, and whether a sampled result survived the upload.
+func Why(events []Event, device, step int) (*WhyReport, error) {
+	var run *RunEvent
+	for i := range events {
+		ev := &events[i]
+		if ev.Type == EventRun && run == nil {
+			run = ev.Run
+		}
+		if ev.Type != EventDecision || ev.Step != step || ev.Decision == nil {
+			continue
+		}
+		d := ev.Decision
+		for i, m := range d.Members {
+			if m != device {
+				continue
+			}
+			r := &WhyReport{
+				Device:  device,
+				Step:    step,
+				Edge:    d.Edge,
+				Members: len(d.Members),
+			}
+			if i < len(d.Probs) {
+				r.Prob = d.Probs[i]
+			}
+			if i < len(d.Coins) {
+				r.Coin = d.Coins[i]
+			}
+			if len(d.Estimates) == len(d.Members) {
+				r.HasEstimate = true
+				r.Estimate = d.Estimates[i]
+			}
+			r.Sampled = r.Coin < r.Prob
+			for _, m := range d.Dropped {
+				if m == device {
+					r.Dropped = true
+				}
+			}
+			for _, q := range d.Probs {
+				r.EdgeMass += q
+			}
+			if len(d.Probs) > 0 {
+				r.EdgeMeanProb = r.EdgeMass / float64(len(d.Probs))
+			}
+			if run != nil {
+				r.Capacity = run.Capacity
+				r.HasCapacity = true
+			}
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("telemetry: no recorded decision covers device %d at step %d (trace may subsample steps/edges)", device, step)
+}
+
+// Write renders the report as prose.
+func (r *WhyReport) Write(w io.Writer) error {
+	fmt.Fprintf(w, "device %d at step %d — edge %d (%d members", r.Device, r.Step, r.Edge, r.Members)
+	if r.HasCapacity {
+		fmt.Fprintf(w, ", capacity %.3f", r.Capacity)
+	}
+	fmt.Fprintf(w, ")\n")
+	if r.HasEstimate {
+		fmt.Fprintf(w, "  estimate   %.6g (UCB gradient-norm estimate fed to edge sampling)\n", r.Estimate)
+	} else {
+		fmt.Fprintf(w, "  estimate   (not recorded: strategy exposes no per-member estimates)\n")
+	}
+	fmt.Fprintf(w, "  probability %.6f (edge mean %.6f, edge mass %.3f)\n", r.Prob, r.EdgeMeanProb, r.EdgeMass)
+	verdict := "NOT SAMPLED"
+	if r.Sampled {
+		verdict = "SAMPLED"
+	}
+	fmt.Fprintf(w, "  coin        %.6f %s q  →  %s\n", r.Coin, ltOrGe(r.Coin < r.Prob), verdict)
+	if r.Sampled {
+		if r.Dropped {
+			fmt.Fprintf(w, "  upload      DROPPED (upload-failure coin: trained, but the result never reached the edge)\n")
+		} else {
+			fmt.Fprintf(w, "  upload      delivered\n")
+		}
+	}
+	return nil
+}
+
+func ltOrGe(lt bool) string {
+	if lt {
+		return "<"
+	}
+	return "≥"
+}
+
+// Divergence is one mismatch between two traces.
+type Divergence struct {
+	Index int // index within the deterministic-event sequence
+	Step  int
+	Type  string
+	A, B  string // JSON of the mismatching events ("" = missing)
+}
+
+// Diff compares the deterministic events of two traces in order. Phase
+// events carry wall-clock timings and are skipped; everything else — run
+// header, every recorded decision (estimates, probabilities, coins),
+// evaluations, estimator snapshots, done — must match exactly between
+// identically-seeded runs. It returns nil when the traces agree.
+func Diff(a, b []Event) []Divergence {
+	da, db := deterministic(a), deterministic(b)
+	var out []Divergence
+	n := len(da)
+	if len(db) > n {
+		n = len(db)
+	}
+	for i := 0; i < n; i++ {
+		var ja, jb []byte
+		var step int
+		var typ string
+		if i < len(da) {
+			ja, _ = json.Marshal(da[i]) //machlint:allow errdrop Event marshals cannot fail: plain structs of ints, floats and slices
+			step, typ = da[i].Step, da[i].Type
+		}
+		if i < len(db) {
+			jb, _ = json.Marshal(db[i]) //machlint:allow errdrop Event marshals cannot fail: plain structs of ints, floats and slices
+			if typ == "" {
+				step, typ = db[i].Step, db[i].Type
+			}
+		}
+		if bytes.Equal(ja, jb) {
+			continue
+		}
+		out = append(out, Divergence{Index: i, Step: step, Type: typ, A: string(ja), B: string(jb)})
+	}
+	return out
+}
+
+// deterministic filters a trace down to its seed-reproducible events.
+func deterministic(events []Event) []*Event {
+	out := make([]*Event, 0, len(events))
+	for i := range events {
+		if events[i].Type == EventPhase {
+			continue
+		}
+		out = append(out, &events[i])
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package telemetry
+
+import "time"
+
+// This file is the repo's single sanctioned wall-clock site. The machlint
+// walltime analyzer forbids time.Now/Since/Until everywhere outside
+// internal/telemetry, so every harness and CLI that measures elapsed time
+// does it through WallNow/WallSince — one audited place instead of clock
+// reads scattered through code that is supposed to be deterministic.
+
+// processStart anchors the monotonic telemetry clock. time.Since on a
+// time.Time taken from time.Now uses the runtime's monotonic reading, so
+// monotonicNS never jumps with wall-clock adjustments.
+var processStart = time.Now()
+
+// monotonicNS is the default Telemetry clock: nanoseconds of monotonic
+// time since process start.
+func monotonicNS() int64 {
+	return int64(time.Since(processStart))
+}
+
+// WallNow returns the current time, for benchmark harnesses and CLI
+// status output. Simulation state must never depend on it.
+func WallNow() time.Time { return time.Now() }
+
+// WallSince returns the elapsed (monotonic) time since a WallNow reading.
+func WallSince(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarTel is the telemetry sink published under the "mach" expvar. The
+// expvar registry panics on duplicate names, so the variable is published
+// once and reads through this pointer — the most recently started debug
+// server's sink wins.
+var (
+	expvarTel  atomic.Pointer[Telemetry]
+	expvarOnce sync.Once
+)
+
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("mach", expvar.Func(func() any {
+			return expvarTel.Load().Snapshot() // Snapshot is nil-safe
+		}))
+	})
+}
+
+// DebugServer is the process's observability HTTP endpoint: the standard
+// expvar dump at /debug/vars (with the telemetry snapshot published as the
+// "mach" variable), the full pprof suite at /debug/pprof/, and the
+// telemetry snapshot alone at /debug/telemetry.
+type DebugServer struct {
+	// Addr is the bound address, with any ":0" port resolved.
+	Addr string
+	srv  *http.Server
+}
+
+// StartDebugServer binds addr and serves the debug endpoints in a
+// background goroutine until Close. t may be nil: pprof and expvar still
+// work, and the telemetry snapshot is empty.
+func StartDebugServer(addr string, t *Telemetry) (*DebugServer, error) {
+	expvarTel.Store(t)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteSnapshot(w); err != nil {
+			// The response is already partially written; nothing to recover.
+			return
+		}
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server listen %s: %w", addr, err)
+	}
+	s := &DebugServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}}
+	go func() {
+		// Serve returns http.ErrServerClosed on Close; any earlier failure
+		// has no caller to report to, so the server just stops.
+		_ = s.srv.Serve(ln) //machlint:allow errdrop Serve always returns non-nil; ErrServerClosed on Close is the expected exit
+	}()
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,346 @@
+// Package telemetry is the repo's observability layer: process-wide
+// counters, gauges and fixed-bucket histograms for the training engine's
+// phases, a structured JSONL trace of every sampling decision, and the
+// debug HTTP surface (expvar + pprof) that exposes them.
+//
+// The package is built so that *disabled* telemetry is free: every method
+// on *Telemetry is safe on a nil receiver and returns immediately, so the
+// engine threads a possibly-nil pointer through its hot paths without
+// branching on a separate "enabled" flag. The nil fast path performs zero
+// allocations (enforced by AllocsPerRun tests) and never reads the clock,
+// keeping disabled runs deterministic and syscall-free. Enabled telemetry
+// records only *observations* — timings, counts, summaries — never inputs
+// to the simulation, so seeded runs stay bit-identical whether telemetry
+// is on or off (DESIGN.md §8).
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter identifies one monotonically increasing metric.
+type Counter int
+
+// Counters of the training engine and the distributed stack.
+const (
+	// CounterSteps counts completed time steps.
+	CounterSteps Counter = iota
+	// CounterDevicesTrained counts device participations (local SGD runs).
+	CounterDevicesTrained
+	// CounterDevicesUploaded counts successful model uploads.
+	CounterDevicesUploaded
+	// CounterUploadsDropped counts sampled devices whose upload-failure
+	// coin dropped their result.
+	CounterUploadsDropped
+	// CounterCloudRounds counts edge-to-cloud aggregations (Eq. 6).
+	CounterCloudRounds
+	// CounterEvals counts global-model evaluations.
+	CounterEvals
+	// CounterProbes counts oracle gradient-norm probes (MACH-P).
+	CounterProbes
+	// CounterProbFloorClamps counts sampling probabilities saturated at the
+	// strategy's floor (q_min) by the capacity normalization of Eq. (18);
+	// CounterProbCeilClamps counts saturations at 1. Together they expose
+	// how hard the single-pass cap is clipping the transfer-function output.
+	CounterProbFloorClamps
+	CounterProbCeilClamps
+	// CounterDeviceDownlinkBytes/CounterDeviceUplinkBytes/CounterCloudBytes
+	// fold the engine's CommStats into the metrics surface.
+	CounterDeviceDownlinkBytes
+	CounterDeviceUplinkBytes
+	CounterCloudBytes
+	// CounterRPCCalls counts RPC handler invocations in the distributed
+	// stack (internal/fed).
+	CounterRPCCalls
+
+	counterCount
+)
+
+// counterNames align with the Counter constants.
+var counterNames = [counterCount]string{
+	"steps",
+	"devices_trained",
+	"devices_uploaded",
+	"uploads_dropped",
+	"cloud_rounds",
+	"evals",
+	"probes",
+	"prob_floor_clamps",
+	"prob_ceil_clamps",
+	"device_downlink_bytes",
+	"device_uplink_bytes",
+	"cloud_bytes",
+	"rpc_calls",
+}
+
+// Gauge identifies one last-value metric.
+type Gauge int
+
+// Gauges of the training engine.
+const (
+	// GaugeUCBMin/Mean/Max summarize the per-member UCB estimates of the
+	// most recent step, across all edges (Eq. 15).
+	GaugeUCBMin Gauge = iota
+	GaugeUCBMean
+	GaugeUCBMax
+	// GaugeProbMass is Σ q over all members of all edges in the most recent
+	// step — the expected number of sampled devices (Eq. 3 sums to ≤ ΣK_n).
+	GaugeProbMass
+	// GaugeNeverPulled is the number of devices the experience estimator has
+	// never observed; GaugeMaxPulls the most-pulled device's participation
+	// count. Both refresh at cloud rounds.
+	GaugeNeverPulled
+	GaugeMaxPulls
+	// GaugeAccuracy/GaugeLoss are the most recent evaluation results.
+	GaugeAccuracy
+	GaugeLoss
+	// GaugeQueueDepth samples the worker pool's submission backlog during
+	// the execution phase.
+	GaugeQueueDepth
+
+	gaugeCount
+)
+
+// gaugeNames align with the Gauge constants.
+var gaugeNames = [gaugeCount]string{
+	"ucb_min",
+	"ucb_mean",
+	"ucb_max",
+	"prob_mass",
+	"never_pulled",
+	"max_pulls",
+	"accuracy",
+	"loss",
+	"queue_depth",
+}
+
+// Hist identifies one fixed-bucket histogram.
+type Hist int
+
+// Histograms of the training engine. The *NS histograms record phase
+// durations in nanoseconds; the Edge* histograms record per-edge per-step
+// population counts.
+const (
+	HistDecideNS Hist = iota
+	HistTrainNS
+	HistAggregateNS
+	HistEvalNS
+	HistStepNS
+	HistEdgeMembers
+	HistEdgeSampled
+
+	histCount
+)
+
+// histNames align with the Hist constants.
+var histNames = [histCount]string{
+	"decide_ns",
+	"train_ns",
+	"aggregate_ns",
+	"eval_ns",
+	"step_ns",
+	"edge_members",
+	"edge_sampled",
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket 0 holds
+// values ≤ 0 and bucket i ≥ 1 holds [2^(i-1), 2^i), so the layout covers
+// the full int64 range with no configuration and bucketing is a single
+// bits.Len64 — cheap enough for per-edge observations.
+const histBuckets = 65
+
+// histogram is a power-of-two-bucket histogram over non-negative int64
+// observations. All fields are atomics, so concurrent observers (parallel
+// decide, pool workers) need no lock.
+type histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func (h *histogram) observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Telemetry is the metrics sink. The zero value is not useful — construct
+// with New — but a nil *Telemetry is: every method no-ops, allocation-free,
+// so "telemetry disabled" is simply a nil pointer.
+type Telemetry struct {
+	clock    func() int64
+	counters [counterCount]atomic.Int64
+	gauges   [gaugeCount]atomic.Uint64 // float64 bits
+	hists    [histCount]histogram
+	trace    atomic.Pointer[Trace]
+}
+
+// New returns an enabled telemetry sink using the process monotonic clock.
+func New() *Telemetry {
+	return &Telemetry{clock: monotonicNS}
+}
+
+// NewWithClock returns a sink whose Now reads from clock instead of the
+// monotonic wall clock; tests use it to make timings deterministic.
+func NewWithClock(clock func() int64) *Telemetry {
+	return &Telemetry{clock: clock}
+}
+
+// SetTrace attaches a structured trace sink; nil detaches it. Safe to call
+// concurrently with readers.
+func (t *Telemetry) SetTrace(tr *Trace) {
+	if t == nil {
+		return
+	}
+	t.trace.Store(tr)
+}
+
+// Trace returns the attached trace sink, or nil when telemetry or tracing
+// is disabled. The returned *Trace is itself nil-safe.
+func (t *Telemetry) Trace() *Trace {
+	if t == nil {
+		return nil
+	}
+	return t.trace.Load()
+}
+
+// Now reads the telemetry clock in nanoseconds. Disabled telemetry returns
+// 0 without touching any clock, so the disabled hot path stays
+// syscall-free; callers pair Now with ObserveSince and both degrade to
+// no-ops together.
+func (t *Telemetry) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Add increments a counter by delta.
+func (t *Telemetry) Add(c Counter, delta int64) {
+	if t == nil {
+		return
+	}
+	t.counters[c].Add(delta)
+}
+
+// Count returns a counter's current value (0 when disabled).
+func (t *Telemetry) Count(c Counter) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.counters[c].Load()
+}
+
+// SetGauge records a gauge's latest value.
+func (t *Telemetry) SetGauge(g Gauge, v float64) {
+	if t == nil {
+		return
+	}
+	t.gauges[g].Store(math.Float64bits(v))
+}
+
+// GaugeValue returns a gauge's latest value (0 when disabled).
+func (t *Telemetry) GaugeValue(g Gauge) float64 {
+	if t == nil {
+		return 0
+	}
+	return math.Float64frombits(t.gauges[g].Load())
+}
+
+// Observe records one histogram observation.
+func (t *Telemetry) Observe(h Hist, v int64) {
+	if t == nil {
+		return
+	}
+	t.hists[h].observe(v)
+}
+
+// ObserveSince records the nanoseconds elapsed since start (a value from
+// Now) into a duration histogram. On a nil receiver both Now and
+// ObserveSince are no-ops, so instrumented code needs no enabled check.
+func (t *Telemetry) ObserveSince(h Hist, start int64) {
+	if t == nil {
+		return
+	}
+	t.hists[h].observe(t.clock() - start)
+}
+
+// HistBucket is one non-empty histogram bucket of a snapshot: Count
+// observations fell in [Lo, Hi].
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is one histogram's state at snapshot time.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Mean    float64      `json:"mean"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric, rendered with stable
+// string keys. encoding/json serializes map keys in sorted order, so a
+// marshalled snapshot is deterministic for deterministic metric values.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current metric values. It returns an empty (non-nil)
+// snapshot when telemetry is disabled, so renderers need no nil check.
+func (t *Telemetry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if t == nil {
+		return s
+	}
+	for c := Counter(0); c < counterCount; c++ {
+		s.Counters[counterNames[c]] = t.counters[c].Load()
+	}
+	for g := Gauge(0); g < gaugeCount; g++ {
+		s.Gauges[gaugeNames[g]] = math.Float64frombits(t.gauges[g].Load())
+	}
+	for h := Hist(0); h < histCount; h++ {
+		hist := &t.hists[h]
+		hs := HistSnapshot{Count: hist.count.Load(), Sum: hist.sum.Load()}
+		if hs.Count > 0 {
+			hs.Mean = float64(hs.Sum) / float64(hs.Count)
+		}
+		for i := 0; i < histBuckets; i++ {
+			n := hist.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			b := HistBucket{Count: n}
+			if i > 0 {
+				b.Lo = int64(1) << (i - 1)
+				b.Hi = int64(1)<<i - 1
+			}
+			hs.Buckets = append(hs.Buckets, b)
+		}
+		s.Histograms[histNames[h]] = hs
+	}
+	return s
+}
+
+// WriteSnapshot renders the current metrics as indented JSON.
+func (t *Telemetry) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot())
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestNilTelemetryZeroAlloc is the disabled-mode contract: every hot-path
+// method on a nil *Telemetry (and nil *Trace) must be allocation-free.
+func TestNilTelemetryZeroAlloc(t *testing.T) {
+	var tel *Telemetry
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := tel.Now()
+		tel.Add(CounterSteps, 1)
+		tel.SetGauge(GaugeProbMass, 1.5)
+		tel.Observe(HistEdgeMembers, 12)
+		tel.ObserveSince(HistDecideNS, start)
+		tr := tel.Trace()
+		if tr.DecisionActive(3, 0) {
+			t.Fatal("nil trace claims active decisions")
+		}
+		tr.Emit(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil telemetry hot path allocates %.1f per run, want 0", allocs)
+	}
+	if got := tel.Now(); got != 0 {
+		t.Fatalf("nil telemetry Now() = %d, want 0 (no clock read)", got)
+	}
+}
+
+// TestEnabledCountersZeroAlloc keeps the enabled metrics path (counters,
+// gauges, histograms — not tracing) allocation-free too.
+func TestEnabledCountersZeroAlloc(t *testing.T) {
+	clock := int64(0)
+	tel := NewWithClock(func() int64 { clock += 10; return clock })
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := tel.Now()
+		tel.Add(CounterDevicesTrained, 3)
+		tel.SetGauge(GaugeAccuracy, 0.7)
+		tel.Observe(HistEdgeSampled, 5)
+		tel.ObserveSince(HistStepNS, start)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled metrics path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	clock := int64(100)
+	tel := NewWithClock(func() int64 { return clock })
+	tel.Add(CounterSteps, 2)
+	tel.Add(CounterSteps, 1)
+	tel.SetGauge(GaugeLoss, 2.25)
+	tel.Observe(HistEdgeMembers, 0)
+	tel.Observe(HistEdgeMembers, 1)
+	tel.Observe(HistEdgeMembers, 5)
+	tel.Observe(HistEdgeMembers, 8)
+
+	if got := tel.Count(CounterSteps); got != 3 {
+		t.Fatalf("CounterSteps = %d, want 3", got)
+	}
+	if got := tel.GaugeValue(GaugeLoss); got != 2.25 {
+		t.Fatalf("GaugeLoss = %v, want 2.25", got)
+	}
+	s := tel.Snapshot()
+	h := s.Histograms["edge_members"]
+	if h.Count != 4 || h.Sum != 14 {
+		t.Fatalf("edge_members count/sum = %d/%d, want 4/14", h.Count, h.Sum)
+	}
+	// Buckets: 0 → [0,0]; 1 → [1,1]; 5 → [4,7]; 8 → [8,15].
+	want := []HistBucket{{0, 0, 1}, {1, 1, 1}, {4, 7, 1}, {8, 15, 1}}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("edge_members buckets = %+v, want %+v", h.Buckets, want)
+	}
+	for i, b := range want {
+		if h.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, h.Buckets[i], b)
+		}
+	}
+}
+
+// TestSnapshotDeterministicJSON pins that two identical sinks marshal to
+// identical bytes — map keys sort, so the snapshot is diffable.
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() []byte {
+		tel := NewWithClock(func() int64 { return 7 })
+		tel.Add(CounterEvals, 4)
+		tel.SetGauge(GaugeUCBMax, 3.5)
+		tel.Observe(HistStepNS, 1000)
+		var buf bytes.Buffer
+		if err := tel.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("WriteSnapshot: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Fatalf("snapshots of identical sinks differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	tel := New()
+	tel.Add(CounterSteps, 9)
+	srv, err := StartDebugServer("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/debug/telemetry")), &snap); err != nil {
+		t.Fatalf("decode /debug/telemetry: %v", err)
+	}
+	if snap.Counters["steps"] != 9 {
+		t.Fatalf("/debug/telemetry steps = %d, want 9", snap.Counters["steps"])
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"mach"`) {
+		t.Fatalf("/debug/vars missing mach variable: %s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected: %.120s", body)
+	}
+}

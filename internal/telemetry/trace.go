@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Event types. Deterministic events depend only on the run's seed and
+// configuration; timing events carry wall-clock measurements and are
+// excluded from trace diffs (see Diff).
+const (
+	// EventRun opens a trace with the run's configuration.
+	EventRun = "run"
+	// EventDecision records one edge's complete sampling decision at one
+	// step: estimates in, probabilities out, every coin draw, and the
+	// resulting sampled/dropped device sets. Deterministic.
+	EventDecision = "decision"
+	// EventPhase records one phase's duration within a step. Timing-only,
+	// nondeterministic.
+	EventPhase = "phase"
+	// EventEval records one global-model evaluation. Deterministic.
+	EventEval = "eval"
+	// EventEstimator records the experience estimator's exploration state
+	// at a cloud round. Deterministic.
+	EventEstimator = "estimator"
+	// EventDone closes a trace with the run's outcome. Deterministic.
+	EventDone = "done"
+)
+
+// Event is one JSONL trace record. Type selects which payload pointer is
+// set; the others are omitted from the encoding.
+type Event struct {
+	Type      string          `json:"type"`
+	Step      int             `json:"step"`
+	Run       *RunEvent       `json:"run,omitempty"`
+	Decision  *DecisionEvent  `json:"decision,omitempty"`
+	Phase     *PhaseEvent     `json:"phase,omitempty"`
+	Eval      *EvalEvent      `json:"eval,omitempty"`
+	Estimator *EstimatorEvent `json:"estimator,omitempty"`
+	Done      *DoneEvent      `json:"done,omitempty"`
+}
+
+// RunEvent is the trace header: enough configuration to interpret every
+// later event without the run's config files.
+type RunEvent struct {
+	Strategy string  `json:"strategy"`
+	Seed     int64   `json:"seed"`
+	Devices  int     `json:"devices"`
+	Edges    int     `json:"edges"`
+	Steps    int     `json:"steps"`
+	Capacity float64 `json:"capacity"`
+	// Every/MaxEdges record the trace's own sampling-rate control so a
+	// reader knows which decisions are absent by design.
+	Every    int `json:"every"`
+	MaxEdges int `json:"max_edges,omitempty"`
+}
+
+// DecisionEvent reconstructs one edge's sampling decision completely: for
+// member Members[i], Estimates[i] (when the strategy exposes them) fed the
+// probability Probs[i], and the Bernoulli coin Coins[i] sampled the device
+// iff Coins[i] < Probs[i]. Sampled lists the drawn device ids in member
+// order; Dropped the subset whose upload-failure coin discarded the
+// result after training.
+type DecisionEvent struct {
+	Edge      int       `json:"edge"`
+	Members   []int     `json:"members"`
+	Estimates []float64 `json:"estimates,omitempty"`
+	Probs     []float64 `json:"probs"`
+	Coins     []float64 `json:"coins"`
+	Sampled   []int     `json:"sampled"`
+	Dropped   []int     `json:"dropped,omitempty"`
+}
+
+// PhaseEvent is one phase's wall-clock duration within a step.
+type PhaseEvent struct {
+	Name string `json:"name"` // decide | train | finalize | eval
+	NS   int64  `json:"ns"`
+}
+
+// EvalEvent is one global-model evaluation.
+type EvalEvent struct {
+	Accuracy float64 `json:"accuracy"`
+	Loss     float64 `json:"loss"`
+}
+
+// EstimatorEvent summarizes the experience estimator's exploration state
+// (emitted at cloud rounds): how many devices were never pulled, and how
+// concentrated the pull counts are.
+type EstimatorEvent struct {
+	Devices     int `json:"devices"`
+	NeverPulled int `json:"never_pulled"`
+	TotalPulls  int `json:"total_pulls"`
+	MaxPulls    int `json:"max_pulls"`
+}
+
+// DoneEvent closes the trace.
+type DoneEvent struct {
+	StepsRun      int     `json:"steps_run"`
+	TotalSampled  int     `json:"total_sampled"`
+	FinalAccuracy float64 `json:"final_accuracy"`
+}
+
+// TraceConfig bounds what a trace records, so traces of 100k-device runs
+// stay manageable. Both controls are pure functions of (step, edge) — no
+// randomness, no time — so identically-seeded runs record identical event
+// sets.
+type TraceConfig struct {
+	// Every records decision and phase events only on steps divisible by
+	// Every (0 or 1 = every step). Run, eval, estimator and done events are
+	// sparse and always recorded.
+	Every int
+	// MaxEdges records decision events only for edges with index below
+	// MaxEdges (0 = all edges).
+	MaxEdges int
+}
+
+// Trace is a JSONL event sink. Emission is serialized by an internal
+// mutex; the engine emits decision events from its sequential finalize
+// phase in edge order, so event order is deterministic (DESIGN.md §8).
+// All methods are safe on a nil receiver, which means "tracing disabled".
+type Trace struct {
+	cfg    TraceConfig
+	events atomic.Int64
+
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewTrace returns a trace writing JSONL events to w.
+func NewTrace(w io.Writer, cfg TraceConfig) *Trace {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Trace{cfg: cfg, bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Config returns the trace's sampling-rate control.
+func (tr *Trace) Config() TraceConfig {
+	if tr == nil {
+		return TraceConfig{}
+	}
+	return tr.cfg
+}
+
+// StepActive reports whether per-step events (phases) are recorded at this
+// step.
+func (tr *Trace) StepActive(step int) bool {
+	if tr == nil {
+		return false
+	}
+	return tr.cfg.Every <= 1 || step%tr.cfg.Every == 0
+}
+
+// DecisionActive reports whether the edge's sampling decision is recorded
+// at this step. It is deterministic, so the decide phase (which buffers
+// coins) and the finalize phase (which emits) agree without shared state.
+func (tr *Trace) DecisionActive(step, edge int) bool {
+	if !tr.StepActive(step) {
+		return false
+	}
+	return tr.cfg.MaxEdges <= 0 || edge < tr.cfg.MaxEdges
+}
+
+// Emit writes one event. The first write error is retained and surfaced by
+// Close; later emissions become no-ops, so instrumented hot loops need no
+// per-event error handling.
+func (tr *Trace) Emit(ev *Event) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.err != nil {
+		return
+	}
+	if err := tr.enc.Encode(ev); err != nil {
+		tr.err = err
+		return
+	}
+	tr.events.Add(1)
+}
+
+// Events returns how many events have been written.
+func (tr *Trace) Events() int64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.events.Load()
+}
+
+// Close flushes the trace and returns the first error encountered over its
+// lifetime. It does not close the underlying writer.
+func (tr *Trace) Close() error {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if err := tr.bw.Flush(); err != nil && tr.err == nil {
+		tr.err = err
+	}
+	return tr.err
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(t *testing.T, buf *bytes.Buffer, cfg TraceConfig) *Trace {
+	t.Helper()
+	tr := NewTrace(buf, cfg)
+	tr.Emit(&Event{Type: EventRun, Run: &RunEvent{
+		Strategy: "mach", Seed: 1, Devices: 6, Edges: 2, Steps: 4, Capacity: 1.5,
+		Every: cfg.Every,
+	}})
+	for step := 0; step < 4; step++ {
+		for edge := 0; edge < 2; edge++ {
+			if !tr.DecisionActive(step, edge) {
+				continue
+			}
+			base := edge * 3
+			tr.Emit(&Event{Type: EventDecision, Step: step, Decision: &DecisionEvent{
+				Edge:      edge,
+				Members:   []int{base, base + 1, base + 2},
+				Estimates: []float64{1.5, 0.5, 1.0},
+				Probs:     []float64{0.9, 0.1, 0.5},
+				Coins:     []float64{0.3, 0.7, 0.45},
+				Sampled:   []int{base, base + 2},
+				Dropped:   []int{base + 2},
+			}})
+		}
+		if tr.StepActive(step) {
+			tr.Emit(&Event{Type: EventPhase, Step: step, Phase: &PhaseEvent{Name: "decide", NS: int64(100 + step)}})
+		}
+	}
+	tr.Emit(&Event{Type: EventEstimator, Step: 4, Estimator: &EstimatorEvent{Devices: 6, NeverPulled: 2, TotalPulls: 8, MaxPulls: 4}})
+	tr.Emit(&Event{Type: EventEval, Step: 4, Eval: &EvalEvent{Accuracy: 0.5, Loss: 1.2}})
+	tr.Emit(&Event{Type: EventDone, Step: 4, Done: &DoneEvent{StepsRun: 4, TotalSampled: 16, FinalAccuracy: 0.5}})
+	if err := tr.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	return tr
+}
+
+func TestTraceRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := sampleTrace(t, &buf, TraceConfig{})
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if int64(len(events)) != tr.Events() {
+		t.Fatalf("read %d events, trace wrote %d", len(events), tr.Events())
+	}
+	// run + 8 decisions + 4 phases + estimator + eval + done
+	if len(events) != 16 {
+		t.Fatalf("event count = %d, want 16", len(events))
+	}
+	d := events[1]
+	if d.Type != EventDecision || d.Decision == nil || d.Decision.Edge != 0 {
+		t.Fatalf("second event = %+v, want edge-0 decision", d)
+	}
+	if got := d.Decision.Coins[1]; got != 0.7 {
+		t.Fatalf("coin roundtrip = %v, want 0.7", got)
+	}
+}
+
+// TestTraceRateControl pins the deterministic sampling gates: Every keeps
+// only matching steps, MaxEdges only low-index edges.
+func TestTraceRateControl(t *testing.T) {
+	tr := NewTrace(&bytes.Buffer{}, TraceConfig{Every: 2, MaxEdges: 1})
+	cases := []struct {
+		step, edge int
+		want       bool
+	}{
+		{0, 0, true},
+		{0, 1, false}, // edge ≥ MaxEdges
+		{1, 0, false}, // step % Every != 0
+		{2, 0, true},
+		{3, 1, false},
+	}
+	for _, c := range cases {
+		if got := tr.DecisionActive(c.step, c.edge); got != c.want {
+			t.Fatalf("DecisionActive(%d, %d) = %v, want %v", c.step, c.edge, got, c.want)
+		}
+	}
+	var buf bytes.Buffer
+	sampleTrace(t, &buf, TraceConfig{Every: 2})
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	for _, ev := range events {
+		if (ev.Type == EventDecision || ev.Type == EventPhase) && ev.Step%2 != 0 {
+			t.Fatalf("event at odd step recorded despite Every=2: %+v", ev)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTrace(t, &buf, TraceConfig{})
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	s := Summarize(events)
+	if s.Run == nil || s.Run.Strategy != "mach" {
+		t.Fatalf("summary run = %+v", s.Run)
+	}
+	if s.Decisions != 8 || s.Steps != 4 {
+		t.Fatalf("decisions/steps = %d/%d, want 8/4", s.Decisions, s.Steps)
+	}
+	if len(s.Phases) != 1 || s.Phases[0].Name != "decide" || s.Phases[0].Count != 4 {
+		t.Fatalf("phases = %+v", s.Phases)
+	}
+	// Each decision's mass is 0.9+0.1+0.5 = 1.5; two edges per step.
+	if got := s.Mass[0].Mass; got < 2.999 || got > 3.001 {
+		t.Fatalf("step-0 mass = %v, want 3.0", got)
+	}
+	var out strings.Builder
+	if err := s.Write(&out); err != nil {
+		t.Fatalf("summary write: %v", err)
+	}
+	for _, want := range []string{"phase breakdown", "exploration health", "probability mass", "final accuracy 0.5"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestWhy(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTrace(t, &buf, TraceConfig{})
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	// Device 4 = edge 1 member index 1: prob 0.1, coin 0.7 → not sampled.
+	r, err := Why(events, 4, 2)
+	if err != nil {
+		t.Fatalf("Why: %v", err)
+	}
+	if r.Edge != 1 || r.Prob != 0.1 || r.Coin != 0.7 || r.Sampled {
+		t.Fatalf("why(4, 2) = %+v", r)
+	}
+	if !r.HasEstimate || r.Estimate != 0.5 {
+		t.Fatalf("why(4, 2) estimate = %+v", r)
+	}
+	// Device 5 = edge 1 member index 2: sampled and dropped.
+	r, err = Why(events, 5, 1)
+	if err != nil {
+		t.Fatalf("Why: %v", err)
+	}
+	if !r.Sampled || !r.Dropped {
+		t.Fatalf("why(5, 1) = %+v, want sampled+dropped", r)
+	}
+	var out strings.Builder
+	if err := r.Write(&out); err != nil {
+		t.Fatalf("why write: %v", err)
+	}
+	if !strings.Contains(out.String(), "SAMPLED") || !strings.Contains(out.String(), "DROPPED") {
+		t.Fatalf("why output: %s", out.String())
+	}
+	if _, err := Why(events, 99, 0); err == nil {
+		t.Fatal("Why on unknown device should fail")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var a, b bytes.Buffer
+	sampleTrace(t, &a, TraceConfig{})
+	sampleTrace(t, &b, TraceConfig{})
+	ea, err := ReadEvents(&a)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	eb, err := ReadEvents(&b)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	// Identical traces: zero divergence, even though phase timings differ
+	// from run to run (here they don't, but Diff must not depend on them).
+	if div := Diff(ea, eb); div != nil {
+		t.Fatalf("identical traces diverge: %+v", div)
+	}
+	// Perturb one coin: exactly one divergence, at the right step.
+	for i := range eb {
+		if eb[i].Type == EventDecision && eb[i].Step == 2 && eb[i].Decision.Edge == 1 {
+			eb[i].Decision.Coins[0] += 1e-9
+		}
+	}
+	div := Diff(ea, eb)
+	if len(div) != 1 || div[0].Step != 2 || div[0].Type != EventDecision {
+		t.Fatalf("perturbed diff = %+v, want one decision divergence at step 2", div)
+	}
+	// Phase-only differences are ignored.
+	for i := range eb {
+		if eb[i].Type == EventDecision && eb[i].Step == 2 && eb[i].Decision.Edge == 1 {
+			eb[i].Decision.Coins[0] -= 1e-9
+		}
+		if eb[i].Type == EventPhase {
+			eb[i].Phase.NS += 12345
+		}
+	}
+	if div := Diff(ea, eb); div != nil {
+		t.Fatalf("phase timing change should not diverge: %+v", div)
+	}
+	// Truncated trace: missing events surface as divergences.
+	if div := Diff(ea, eb[:len(eb)-1]); len(div) == 0 {
+		t.Fatal("truncated trace should diverge")
+	}
+}

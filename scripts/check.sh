@@ -33,4 +33,13 @@ scale_tmp=$(mktemp -d)
 go run ./cmd/machbench -exp scale -quick -out "$scale_tmp" >/dev/null
 rm -rf "$scale_tmp"
 
+echo "== telemetry bench smoke (-exp telemetry -quick, off/metrics/trace agreement check)"
+tel_tmp=$(mktemp -d)
+go run ./cmd/machbench -exp telemetry -quick -out "$tel_tmp" >/dev/null
+rm -rf "$tel_tmp"
+
+echo "== engine bench headline (committed BENCH_engine.json, serial row)"
+awk '/"ns_per_step"/ && !ns {ns=$2} /"final_accuracy"/ && !acc {acc=$2} END \
+	{gsub(/,/, "", ns); gsub(/,/, "", acc); printf "   ns_per_step=%s final_accuracy=%s\n", ns, acc}' BENCH_engine.json
+
 echo "check: OK"
