@@ -100,6 +100,8 @@ func run() error {
 		beta    = flag.Float64("beta", 0, "override MACH beta (0 = preset)")
 		target  = flag.Float64("target", 0, "override target accuracy (0 = preset)")
 		agg     = flag.String("agg", "", "override aggregation: inverse | plain | literal")
+	lane    = flag.String("lane", "", "override compute lane for local updates: f64 | f32 (default: preset)")
+	fuse    = flag.Bool("fuse", false, "fuse each edge's sampled devices into one lockstep execution task")
 		conf    = flag.String("config", "", "JSON experiment config layered over the preset")
 		outDir  = flag.String("out", "", "directory for per-strategy CSV curves and the resolved config (optional)")
 		ndev    = flag.Float64("noisydev", -1, "override noisy-device fraction (-1 = preset)")
@@ -258,6 +260,15 @@ func run() error {
 		}
 		if *tg > 0 {
 			cfg.CloudInterval = *tg
+		}
+		if *lane != "" {
+			if _, err := hfl.ParseLane(*lane); err != nil {
+				return err
+			}
+			cfg.Lane = *lane
+		}
+		if *fuse {
+			cfg.FuseBatch = true
 		}
 		switch *agg {
 		case "":

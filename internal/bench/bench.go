@@ -99,6 +99,8 @@ type Config struct {
 	Seed             int64
 	Aggregation      hfl.Aggregation
 	MACH             sampling.MACHConfig
+	Lane             string // compute lane for local updates: "f64" (default) or "f32"
+	FuseBatch        bool   // fuse each edge's sampled devices into one lockstep execution task
 }
 
 // Validate reports whether the config is usable.
@@ -299,7 +301,13 @@ func (c Config) BuildEnvironment(run int) (*Environment, error) {
 }
 
 // HFLConfig converts the bench config to an engine config for one run.
+// An unparseable Lane string is deferred to hfl.Config.Validate via an
+// out-of-range value rather than swallowed here.
 func (c Config) HFLConfig(run int) hfl.Config {
+	lane, err := hfl.ParseLane(c.Lane)
+	if err != nil {
+		lane = hfl.Lane(-1)
+	}
 	return hfl.Config{
 		Steps:         c.Steps,
 		CloudInterval: c.CloudInterval,
@@ -311,6 +319,8 @@ func (c Config) HFLConfig(run int) hfl.Config {
 		EvalEvery:     c.EvalEvery,
 		Seed:          c.Seed + int64(run)*7919 + 3,
 		Aggregation:   c.Aggregation,
+		Lane:          lane,
+		FuseBatch:     c.FuseBatch,
 	}
 }
 

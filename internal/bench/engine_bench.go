@@ -25,8 +25,13 @@ func EngineBenchPreset() Config {
 	return cfg
 }
 
-// EngineBenchRow measures one full engine run at one worker-pool size.
+// EngineBenchRow measures one full engine run of one cell: a compute lane ×
+// batch-fusion combination at one worker-pool size.
 type EngineBenchRow struct {
+	// Lane is the compute lane of the cell ("f64" or "f32").
+	Lane string `json:"lane"`
+	// Fused reports whether cross-device batch fusion was enabled.
+	Fused bool `json:"fused"`
 	// Workers is the resolved pool size passed to hfl.Config.Workers.
 	Workers int `json:"workers"`
 	// StepsRun is the number of simulated time steps executed.
@@ -47,7 +52,9 @@ type EngineBenchRow struct {
 	// buffers (steady-state-only numbers live in the package tests).
 	AllocsPerStep float64 `json:"allocs_per_step"`
 	BytesPerStep  float64 `json:"bytes_per_step"`
-	// SpeedupVsSerial is row 0's WallNs divided by this row's WallNs.
+	// SpeedupVsSerial is row 0's WallNs divided by this row's WallNs. Row 0
+	// is always the f64 / unfused / serial cell — the engine's committed
+	// baseline — so every other cell's speedup reads against it directly.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 	// FinalAccuracy is recorded so bit-identity across worker counts can be
 	// eyeballed straight from the JSON.
@@ -97,8 +104,28 @@ func engineBenchWorkerCounts() []int {
 	return out
 }
 
-// RunEngineBench runs the frozen micro configuration once per worker count
-// and records wall time, throughput and allocation pressure.
+// engineBenchCells enumerates the lane × fusion grid in measurement order.
+// The first cell is f64 / unfused — the committed baseline whose serial row
+// anchors SpeedupVsSerial and the check-script headline — followed by each
+// acceleration knob alone and then both together.
+func engineBenchCells() []struct {
+	Lane string
+	Fuse bool
+} {
+	return []struct {
+		Lane string
+		Fuse bool
+	}{
+		{"f64", false},
+		{"f64", true},
+		{"f32", false},
+		{"f32", true},
+	}
+}
+
+// RunEngineBench runs the frozen micro configuration once per lane × fusion
+// cell and worker count, recording wall time, throughput and allocation
+// pressure per cell.
 func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -115,56 +142,66 @@ func RunEngineBench(cfg Config) (*EngineBenchResult, error) {
 		Steps:      cfg.Steps,
 		Strategy:   StratMACH,
 	}
-	for _, workers := range engineBenchWorkerCounts() {
-		// Fresh environment, strategy and engine per measurement so no run
-		// warms another's caches; the seeds are identical, so the simulated
-		// trajectory is too.
-		env, err := cfg.BuildEnvironment(0)
-		if err != nil {
-			return nil, err
+	for _, cell := range engineBenchCells() {
+		for _, workers := range engineBenchWorkerCounts() {
+			// Fresh environment, strategy and engine per measurement so no
+			// run warms another's caches; the seeds are identical, so the
+			// simulated trajectory is too (bitwise within a lane).
+			env, err := cfg.BuildEnvironment(0)
+			if err != nil {
+				return nil, err
+			}
+			strat, err := cfg.NewStrategy(StratMACH)
+			if err != nil {
+				return nil, err
+			}
+			hcfg := cfg.HFLConfig(0)
+			hcfg.Workers = workers
+			lane, err := hfl.ParseLane(cell.Lane)
+			if err != nil {
+				return nil, err
+			}
+			hcfg.Lane = lane
+			hcfg.FuseBatch = cell.Fuse
+			eng, err := hfl.New(hcfg, cfg.Arch(), env.DeviceData, env.Test, env.Schedule, strat)
+			if err != nil {
+				return nil, fmt.Errorf("bench: engine (lane=%s fused=%v workers=%d): %w", cell.Lane, cell.Fuse, workers, err)
+			}
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := telemetry.WallNow()
+			run, err := eng.Run()
+			wall := telemetry.WallSince(start)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return nil, fmt.Errorf("bench: engine run (lane=%s fused=%v workers=%d): %w", cell.Lane, cell.Fuse, workers, err)
+			}
+			row := EngineBenchRow{
+				Lane:           cell.Lane,
+				Fused:          cell.Fuse,
+				Workers:        workers,
+				StepsRun:       run.StepsRun,
+				DevicesTrained: run.TotalSampled,
+				WallNs:         wall.Nanoseconds(),
+				FinalAccuracy:  run.History.FinalAccuracy(),
+			}
+			if run.StepsRun > 0 {
+				row.NsPerStep = wall.Nanoseconds() / int64(run.StepsRun)
+				row.AllocsPerStep = float64(after.Mallocs-before.Mallocs) / float64(run.StepsRun)
+				row.BytesPerStep = float64(after.TotalAlloc-before.TotalAlloc) / float64(run.StepsRun)
+			}
+			if run.TotalSampled > 0 {
+				row.NsPerDeviceUpdate = wall.Nanoseconds() / int64(run.TotalSampled)
+				row.DevicesTrainedPerSec = float64(run.TotalSampled) / wall.Seconds()
+			}
+			if len(res.Rows) > 0 && row.WallNs > 0 {
+				row.SpeedupVsSerial = float64(res.Rows[0].WallNs) / float64(row.WallNs)
+			} else {
+				row.SpeedupVsSerial = 1
+			}
+			res.Rows = append(res.Rows, row)
 		}
-		strat, err := cfg.NewStrategy(StratMACH)
-		if err != nil {
-			return nil, err
-		}
-		hcfg := cfg.HFLConfig(0)
-		hcfg.Workers = workers
-		eng, err := hfl.New(hcfg, cfg.Arch(), env.DeviceData, env.Test, env.Schedule, strat)
-		if err != nil {
-			return nil, fmt.Errorf("bench: engine (workers=%d): %w", workers, err)
-		}
-		var before, after runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&before)
-		start := telemetry.WallNow()
-		run, err := eng.Run()
-		wall := telemetry.WallSince(start)
-		runtime.ReadMemStats(&after)
-		if err != nil {
-			return nil, fmt.Errorf("bench: engine run (workers=%d): %w", workers, err)
-		}
-		row := EngineBenchRow{
-			Workers:        workers,
-			StepsRun:       run.StepsRun,
-			DevicesTrained: run.TotalSampled,
-			WallNs:         wall.Nanoseconds(),
-			FinalAccuracy:  run.History.FinalAccuracy(),
-		}
-		if run.StepsRun > 0 {
-			row.NsPerStep = wall.Nanoseconds() / int64(run.StepsRun)
-			row.AllocsPerStep = float64(after.Mallocs-before.Mallocs) / float64(run.StepsRun)
-			row.BytesPerStep = float64(after.TotalAlloc-before.TotalAlloc) / float64(run.StepsRun)
-		}
-		if run.TotalSampled > 0 {
-			row.NsPerDeviceUpdate = wall.Nanoseconds() / int64(run.TotalSampled)
-			row.DevicesTrainedPerSec = float64(run.TotalSampled) / wall.Seconds()
-		}
-		if len(res.Rows) > 0 && row.WallNs > 0 {
-			row.SpeedupVsSerial = float64(res.Rows[0].WallNs) / float64(row.WallNs)
-		} else {
-			row.SpeedupVsSerial = 1
-		}
-		res.Rows = append(res.Rows, row)
 	}
 	for _, size := range []int{128, 256} {
 		res.MatMul = append(res.MatMul, benchMatMul(size))
@@ -227,13 +264,13 @@ func RenderEngineBench(w io.Writer, r *EngineBenchResult) error {
 	if _, err := fmt.Fprintf(w, "config: task=%s model=%s devices=%d edges=%d steps=%d strategy=%s\n\n", r.Task, r.Model, r.Devices, r.Edges, r.Steps, r.Strategy); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%8s %10s %14s %12s %14s %14s %9s %8s\n",
-		"workers", "ns/step", "ns/dev-update", "devices/s", "allocs/step", "bytes/step", "speedup", "acc"); err != nil {
+	if _, err := fmt.Fprintf(w, "%5s %6s %8s %10s %14s %12s %14s %14s %9s %8s\n",
+		"lane", "fused", "workers", "ns/step", "ns/dev-update", "devices/s", "allocs/step", "bytes/step", "speedup", "acc"); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if _, err := fmt.Fprintf(w, "%8d %10d %14d %12.1f %14.1f %14.0f %8.2fx %8.4f\n",
-			row.Workers, row.NsPerStep, row.NsPerDeviceUpdate, row.DevicesTrainedPerSec,
+		if _, err := fmt.Fprintf(w, "%5s %6v %8d %10d %14d %12.1f %14.1f %14.0f %8.2fx %8.4f\n",
+			row.Lane, row.Fused, row.Workers, row.NsPerStep, row.NsPerDeviceUpdate, row.DevicesTrainedPerSec,
 			row.AllocsPerStep, row.BytesPerStep, row.SpeedupVsSerial, row.FinalAccuracy); err != nil {
 			return err
 		}

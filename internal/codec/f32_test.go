@@ -1,0 +1,150 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randVec32 draws float32 values as raw bit patterns, sampling NaN
+// payloads, denormals and infinities like the float64 tests do.
+func randVec32(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = math.Float32frombits(rng.Uint32())
+	}
+	return v
+}
+
+func bits32Equal(t *testing.T, got, want []float32, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: param %d = %x, want %x", label,
+				i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+// TestFloat32DirectRoundtripBitExact: Encode32 → Decode32 preserves every
+// float32 bit pattern, with and without a baseline. Unlike the float64
+// entry point, the direct float32 path is lossless for float32 senders.
+func TestFloat32DirectRoundtripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		params := randVec32(rng, n)
+		blob, err := Encode32(params, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode32(blob, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits32Equal(t, got, params, "no baseline")
+
+		if n == 0 {
+			continue
+		}
+		baseline := randVec32(rng, n)
+		blob, err = Encode32(params, baseline, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = Decode32(blob, baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits32Equal(t, got, params, "with baseline")
+	}
+}
+
+// TestFloat32DirectWireCompatible: the direct float32 API and the float64
+// API produce and consume the same wire format. Encoding a vector through
+// either entry point yields byte-identical blobs, and blobs decode across
+// APIs (float64 Decode widens the same bits Decode32 returns).
+func TestFloat32DirectWireCompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 150
+	params64 := make([]float64, n)
+	baseline64 := make([]float64, n)
+	for i := range params64 {
+		params64[i] = rng.NormFloat64()
+		baseline64[i] = rng.NormFloat64()
+	}
+	params32 := make([]float32, n)
+	baseline32 := make([]float32, n)
+	for i := range params32 {
+		params32[i] = float32(params64[i])
+		baseline32[i] = float32(baseline64[i])
+	}
+
+	for _, withBase := range []bool{false, true} {
+		var b64, b32 []float64
+		var b32f []float32
+		var id uint64
+		if withBase {
+			b64, b32f, id = baseline64, baseline32, 7
+			b32 = baseline64
+		}
+		from64, err := Encode(SchemeFloat32, params64, b64, id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from32, err := Encode32(params32, b32f, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(from64.Data) != string(from32.Data) || from64.Count != from32.Count {
+			t.Fatalf("withBase=%v: Encode and Encode32 emit different payloads", withBase)
+		}
+
+		// f64-encoded blob → f32 decoder.
+		narrow, err := Decode32(from64, b32f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits32Equal(t, narrow, params32, "Decode32 of Encode blob")
+
+		// f32-encoded blob → f64 decoder.
+		wide, err := Decode(from32, b32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range wide {
+			if float32(w) != params32[i] || w != float64(params32[i]) {
+				t.Fatalf("withBase=%v: Decode widened param %d to %v, want exact %v", withBase, i, w, params32[i])
+			}
+		}
+	}
+}
+
+// TestFloat32DirectValidation mirrors the Encode/Decode validation contract
+// for the float32 entry points.
+func TestFloat32DirectValidation(t *testing.T) {
+	params := []float32{1, 2, 3}
+	if _, err := Encode32(params, []float32{1, 2, 3}, 0); err == nil {
+		t.Fatal("baseline without id accepted")
+	}
+	if _, err := Encode32(params, nil, 9); err == nil {
+		t.Fatal("id without baseline accepted")
+	}
+	if _, err := Encode32(params, []float32{1}, 9); err == nil {
+		t.Fatal("short baseline accepted")
+	}
+	blob, err := Encode32(params, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode32(blob, []float32{1, 2, 3}); err == nil {
+		t.Fatal("unsolicited baseline accepted")
+	}
+	blob.Scheme = SchemeDelta
+	if _, err := Decode32(blob, nil); err == nil {
+		t.Fatal("non-float32 scheme accepted")
+	}
+}

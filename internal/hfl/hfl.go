@@ -87,6 +87,59 @@ type Config struct {
 	// not depend on the machine; sharding also bounds the peak im2col
 	// footprint, which previously scaled with the whole test set.
 	EvalShards int
+	// Lane selects the numeric compute lane for local training (DESIGN.md
+	// §10). LaneF64 (the default) is the reference engine, bit-identical
+	// to the seed at every worker count. LaneF32 runs forward/backward in
+	// float32 with float64 master weights and float64 accumulation at
+	// every aggregation boundary (optimizer update, loss, gradient norms,
+	// edge/cloud averaging, evaluation); it is bit-identical to itself
+	// across worker counts and tracks the f64 trajectory within float32
+	// tolerance. Probing, evaluation and aggregation always run f64.
+	Lane Lane
+	// FuseBatch fuses the local updates of an edge's sampled devices into
+	// one per-edge lockstep pass (cross-device batch fusion, DESIGN.md
+	// §10): the devices march through the shared architecture layer by
+	// layer with pooled per-edge buffers instead of each walking it alone.
+	// Per-device update semantics, RNG streams and gradients are
+	// unchanged — fused results are bit-identical to unfused within the
+	// same lane. Default off.
+	FuseBatch bool
+}
+
+// Lane selects the numeric compute lane for local training.
+type Lane int
+
+// Compute lanes.
+const (
+	// LaneF64 is the float64 reference lane (default).
+	LaneF64 Lane = iota
+	// LaneF32 is the float32 compute lane with float64 accumulation
+	// boundaries.
+	LaneF32
+)
+
+// String implements fmt.Stringer.
+func (l Lane) String() string {
+	switch l {
+	case LaneF64:
+		return "f64"
+	case LaneF32:
+		return "f32"
+	default:
+		return fmt.Sprintf("lane(%d)", int(l))
+	}
+}
+
+// ParseLane parses the -lane flag values "f64" and "f32".
+func ParseLane(s string) (Lane, error) {
+	switch s {
+	case "f64", "":
+		return LaneF64, nil
+	case "f32":
+		return LaneF32, nil
+	default:
+		return LaneF64, fmt.Errorf("hfl: unknown lane %q (want f64 or f32)", s)
+	}
 }
 
 // Aggregation selects how sampled local models merge into the edge model.
@@ -173,6 +226,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hfl: workers %d negative", c.Workers)
 	case c.EvalShards < 0:
 		return fmt.Errorf("hfl: eval shards %d negative", c.EvalShards)
+	case c.Lane != LaneF64 && c.Lane != LaneF32:
+		return fmt.Errorf("hfl: unknown compute lane %d", int(c.Lane))
 	}
 	return nil
 }
@@ -225,6 +280,14 @@ type device struct {
 	batchY   []int          // minibatch labels
 	batchIdx []int          // minibatch index scratch
 	upload   []float64      // flat parameter upload, consumed by aggregation
+
+	// Float32-lane state (Config.Lane == LaneF32, unfused): a lazily built
+	// single-slot executor plus fixed-size per-call scratch, so the f32
+	// steady state allocates nothing, matching the f64 guarantee.
+	lane      *nn.Lane32
+	laneLbls  [1][]int
+	laneLoss  [1]float64
+	laneNorms [1]float64
 }
 
 // Engine runs Algorithm 1.
@@ -283,6 +346,10 @@ type Engine struct {
 	cloudCounts []int             // per-edge member counts of the cloud round
 	evalIdx     []int             // evaluation sample indices
 	evalShard   []evalShardState
+
+	// fused holds the per-edge fusion state when Config.FuseBatch is set;
+	// fused[n] is private to edge n's execution task within a step.
+	fused []fusedEdgeState
 }
 
 // edgeDecideState is one edge's pooled decision-phase machinery: a reusable
@@ -343,6 +410,13 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 	if err != nil {
 		return nil, fmt.Errorf("hfl: build architecture: %w", err)
 	}
+	if cfg.Lane == LaneF32 {
+		// Fail at construction, not mid-run, when the architecture holds a
+		// layer the float32 lane cannot execute.
+		if _, err := nn.NewLane32(base, 1); err != nil {
+			return nil, fmt.Errorf("hfl: float32 lane: %w", err)
+		}
+	}
 	e := &Engine{
 		cfg:         cfg,
 		arch:        arch,
@@ -393,6 +467,9 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 	e.decide = make([]edgeDecideState, schedule.Edges)
 	e.decideErrs = make([]error, schedule.Edges)
 	e.aggNext = make([][]float64, schedule.Edges)
+	if cfg.FuseBatch {
+		e.fused = make([]fusedEdgeState, schedule.Edges)
+	}
 	return e, nil
 }
 

@@ -168,20 +168,27 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 		}
 		e.observePhase(t, telemetry.HistDecideNS, "decide", stepStart)
 
-		// Execution phase: per-device local SGD on the shared pool. Each
-		// task touches only its own device's state (the schedule assigns a
-		// device to exactly one edge per step) and reads the step's frozen
-		// edge models.
+		// Execution phase: local SGD on the shared pool. Unfused, each
+		// sampled device is one task touching only its own state (the
+		// schedule assigns a device to exactly one edge per step) and the
+		// step's frozen edge models; with FuseBatch, each edge's plan runs
+		// as one fused task over per-edge pooled state.
 		trainStart := e.tel.Now()
 		g := e.pool.Group()
-		for n := range e.plans {
-			edgeParams := e.edge[n]
-			devs := e.plans[n].devs
-			for i := range devs {
-				pd := &devs[i]
-				g.Go(func() {
-					pd.sqNorms, pd.err = e.localUpdate(e.devices[pd.m], edgeParams)
-				})
+		if e.cfg.FuseBatch {
+			for n := range e.plans {
+				g.Go(func() { e.edgeLocalUpdates(n) })
+			}
+		} else {
+			for n := range e.plans {
+				edgeParams := e.edge[n]
+				devs := e.plans[n].devs
+				for i := range devs {
+					pd := &devs[i]
+					g.Go(func() {
+						pd.sqNorms, pd.err = e.localUpdate(e.devices[pd.m], edgeParams)
+					})
+				}
 			}
 		}
 		e.tel.SetGauge(telemetry.GaugeQueueDepth, float64(e.pool.QueueDepth()))
@@ -498,7 +505,11 @@ func (e *Engine) edgeFinalize(t, n int) (edgeStepCounts, error) {
 			continue
 		}
 		dev := e.devices[pd.m]
-		dev.upload = dev.model.ParamVectorInto(dev.upload)
+		if e.cfg.Lane != LaneF32 {
+			dev.upload = dev.model.ParamVectorInto(dev.upload)
+		}
+		// LaneF32: the execution phase already staged the float64 master
+		// weights in dev.upload (see lane.go); dev.model was never trained.
 		results = append(results, localResult{params: dev.upload, weight: pd.weight, size: dev.data.Len()})
 	}
 	e.aggregateEdge(n, results, e.strategy.Unbiased())
@@ -510,17 +521,16 @@ func (e *Engine) edgeFinalize(t, n int) (edgeStepCounts, error) {
 // localUpdate runs I local SGD steps from the edge model (Eq. 4) and returns
 // the squared norms of the I stochastic gradients. The returned slice is the
 // device's reusable window buffer: observers copy what they keep, and the
-// next step overwrites it.
+// next step overwrites it. With Config.Lane == LaneF32 the same steps run on
+// the device's float32 lane (see lane.go).
 func (e *Engine) localUpdate(dev *device, edgeParams []float64) ([]float64, error) {
+	if e.cfg.Lane == LaneF32 {
+		return e.localUpdate32(dev, edgeParams)
+	}
 	if err := dev.model.SetParamVector(edgeParams); err != nil {
 		return nil, err
 	}
-	if dev.sqNorms == nil {
-		dev.sqNorms = make([]float64, e.cfg.LocalEpochs)
-		dev.batchX = tensor.New(e.cfg.BatchSize, dev.data.InC, dev.data.InH, dev.data.InW)
-		dev.batchY = make([]int, e.cfg.BatchSize)
-		dev.batchIdx = make([]int, e.cfg.BatchSize)
-	}
+	e.ensureDeviceBatch(dev)
 	for tau := 0; tau < e.cfg.LocalEpochs; tau++ {
 		dev.data.RandomBatchInto(dev.rng, dev.batchX, dev.batchY, dev.batchIdx)
 		_, gn := dev.model.TrainStep(dev.batchX, dev.batchY, dev.opt)

@@ -5,27 +5,36 @@ import (
 	"go/token"
 )
 
-// FloatEq flags == and != between floating-point operands outside test
-// files. Exact float comparison is almost always a rounding-sensitive bug
-// in simulation code; the few legitimate uses (exact-zero sentinels,
-// sparsity fast paths) must carry a justified //machlint:allow floateq so
-// the intent is auditable. Tests are exempt by DefaultConfig: bit-identity
-// contracts compare floats exactly on purpose.
+// FloatEq flags exact equality on floating-point operands outside test
+// files: == and != between float32/float64 values (including the float32
+// compute lane's kernels), and switch statements whose tag is a float —
+// every case arm of such a switch is an implicit exact ==. Exact float
+// comparison is almost always a rounding-sensitive bug in simulation code;
+// the few legitimate uses (exact-zero sentinels, sparsity fast paths) must
+// carry a justified //machlint:allow floateq so the intent is auditable.
+// Tests are exempt by DefaultConfig: bit-identity contracts compare floats
+// exactly on purpose.
 var FloatEq = &Analyzer{
 	Name: "floateq",
-	Doc:  "exact ==/!= comparison between float32/float64 operands",
+	Doc:  "exact ==/!= comparison (or switch) on float32/float64 operands",
 	Run:  runFloatEq,
 }
 
 func runFloatEq(p *Pass) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-				return true
-			}
-			if isFloat(p.TypeOf(be.X)) || isFloat(p.TypeOf(be.Y)) {
-				p.Reportf(be.OpPos, "exact floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or justify with //machlint:allow floateq", be.Op)
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isFloat(p.TypeOf(n.X)) || isFloat(p.TypeOf(n.Y)) {
+					p.Reportf(n.OpPos, "exact floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or justify with //machlint:allow floateq", n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(p.TypeOf(n.Tag)) {
+					p.Reportf(n.Switch, "switch on a floating-point tag compares each case exactly; use tolerance comparisons or justify with //machlint:allow floateq")
+				}
 			}
 			return true
 		})

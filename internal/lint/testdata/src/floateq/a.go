@@ -32,3 +32,30 @@ func unjustified(a float64) bool {
 	//machlint:allow floateq
 	return a == 1 // want "exact floating-point =="
 }
+
+func switches(a float64, b float32, n int) int {
+	switch a { // want "switch on a floating-point tag"
+	case 1.0:
+		return 1
+	}
+	switch b { // want "switch on a floating-point tag"
+	case 0:
+		return 2
+	}
+	switch n { // integer tags compare exactly
+	case 3:
+		return 3
+	}
+	switch { // tagless switch: arms are checked as ordinary expressions
+	case a > 0.5:
+		return 4
+	case b == 2: // want "exact floating-point =="
+		return 5
+	}
+	//machlint:allow floateq tag takes discrete sentinel values only
+	switch a {
+	case -1:
+		return 6
+	}
+	return 0
+}

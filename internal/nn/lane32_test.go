@@ -1,0 +1,350 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/tensor"
+)
+
+// laneTestBatch draws one random batch as both the flat f64 slice Lane32
+// consumes and the tensor the f64 network consumes (same storage layout).
+func laneTestBatch(rng *rand.Rand, batch int, shape ...int) (*tensor.Tensor, []float64, []int) {
+	dims := append([]int{batch}, shape...)
+	x := tensor.Randn(rng, 1, dims...)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	return x, x.Data(), labels
+}
+
+// TestLane32TracksF64Trajectory trains the same seeded MLP in both lanes on
+// identical batches and checks the f32 trajectory stays within float32
+// tolerance of the f64 one — losses per step and final parameters.
+func TestLane32TracksF64Trajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewMLP("lane-mlp", 16, []int{16}, 10, rng)
+	lane, err := NewLane32(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lane.LoadParams(0, net.ParamVector()); err != nil {
+		t.Fatal(err)
+	}
+	opt := NewSGD(0.05)
+	losses := make([]float64, 1)
+	norms := make([]float64, 1)
+	batchRng := rand.New(rand.NewSource(12))
+	for step := 0; step < 30; step++ {
+		x, flat, labels := laneTestBatch(batchRng, 8, 16)
+		loss64, norm64 := net.TrainStep(x, labels, opt)
+		lane.SetInput(0, 8, flat)
+		lane.TrainStep(1, 8, [][]int{labels}, 0.05, losses, norms)
+		if math.Abs(losses[0]-loss64) > 1e-4*(1+math.Abs(loss64)) {
+			t.Fatalf("step %d: f32 loss %v vs f64 loss %v", step, losses[0], loss64)
+		}
+		if math.Abs(norms[0]-norm64) > 1e-3*(1+norm64) {
+			t.Fatalf("step %d: f32 ‖g‖² %v vs f64 %v", step, norms[0], norm64)
+		}
+	}
+	p64 := net.ParamVector()
+	p32 := lane.ParamsInto(0, nil)
+	for i := range p64 {
+		if math.Abs(p32[i]-p64[i]) > 1e-3*(1+math.Abs(p64[i])) {
+			t.Fatalf("param %d diverged: f32 lane %v vs f64 %v", i, p32[i], p64[i])
+		}
+	}
+}
+
+// TestLane32TracksF64CNN runs the conv/pool pipeline through both lanes.
+func TestLane32TracksF64CNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := CNNConfig{
+		Name: "lane-cnn",
+		InC:  1, InH: 8, InW: 8,
+		Convs: []ConvSpec{
+			{OutC: 2, K: 3, Pad: 1, Pool: true},
+			{OutC: 4, K: 3, Pad: 1, Pool: true},
+		},
+		Hidden:  []int{8},
+		Classes: 10,
+	}
+	net, err := NewCNN(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, err := NewLane32(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lane.LoadParams(0, net.ParamVector()); err != nil {
+		t.Fatal(err)
+	}
+	opt := NewSGD(0.05)
+	losses, norms := make([]float64, 1), make([]float64, 1)
+	batchRng := rand.New(rand.NewSource(14))
+	for step := 0; step < 5; step++ {
+		x, flat, labels := laneTestBatch(batchRng, 4, 1, 8, 8)
+		loss64, _ := net.TrainStep(x, labels, opt)
+		lane.SetInput(0, 4, flat)
+		lane.TrainStep(1, 4, [][]int{labels}, 0.05, losses, norms)
+		if math.Abs(losses[0]-loss64) > 1e-4*(1+math.Abs(loss64)) {
+			t.Fatalf("step %d: f32 loss %v vs f64 loss %v", step, losses[0], loss64)
+		}
+	}
+	p64 := net.ParamVector()
+	p32 := lane.ParamsInto(0, nil)
+	for i := range p64 {
+		if math.Abs(p32[i]-p64[i]) > 1e-3*(1+math.Abs(p64[i])) {
+			t.Fatalf("param %d diverged: f32 lane %v vs f64 %v", i, p32[i], p64[i])
+		}
+	}
+}
+
+// TestLane32TracksF64BatchNorm covers the batch-norm op (f64 statistics,
+// f32 normalize) against the reference layer.
+func TestLane32TracksF64BatchNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	net := NewNetwork("lane-bn",
+		NewDense("fc1", 12, 6, rng),
+		NewBatchNorm1D("bn", 6),
+		NewReLU("r"),
+		NewDense("fc2", 6, 10, rng),
+	)
+	lane, err := NewLane32(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lane.LoadParams(0, net.ParamVector()); err != nil {
+		t.Fatal(err)
+	}
+	opt := NewSGD(0.05)
+	losses, norms := make([]float64, 1), make([]float64, 1)
+	batchRng := rand.New(rand.NewSource(16))
+	for step := 0; step < 10; step++ {
+		x, flat, labels := laneTestBatch(batchRng, 6, 12)
+		loss64, _ := net.TrainStep(x, labels, opt)
+		lane.SetInput(0, 6, flat)
+		lane.TrainStep(1, 6, [][]int{labels}, 0.05, losses, norms)
+		if math.Abs(losses[0]-loss64) > 1e-4*(1+math.Abs(loss64)) {
+			t.Fatalf("step %d: f32 loss %v vs f64 loss %v", step, losses[0], loss64)
+		}
+	}
+}
+
+// TestLane32GradCheck verifies the f32 lane's analytic gradients against
+// central differences on the float64 master weights, with the looser
+// tolerance float32 arithmetic warrants.
+func TestLane32GradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	net := NewNetwork("lane-gradcheck",
+		NewDense("fc1", 6, 5, rng),
+		NewReLU("r1"),
+		NewDense("fc2", 5, 3, rng),
+	)
+	lane, err := NewLane32(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := net.ParamVector()
+	x, flat, _ := laneTestBatch(rng, 4, 6)
+	_ = x
+	labels := []int{0, 1, 2, 1}
+	losses, norms := make([]float64, 1), make([]float64, 1)
+	lossAt := func(params []float64) float64 {
+		if err := lane.LoadParams(0, params); err != nil {
+			t.Fatal(err)
+		}
+		lane.SetInput(0, 4, flat)
+		lane.TrainStep(1, 4, [][]int{labels}, 0, losses, norms) // lr=0: loss+grads only
+		return losses[0]
+	}
+	lossAt(v)
+	analytic := make([]float64, len(v))
+	for i, g := range lane.grads[0] {
+		analytic[i] = float64(g)
+	}
+	const h = 1e-3
+	for s := 0; s < 40; s++ {
+		i := rng.Intn(len(v))
+		orig := v[i]
+		v[i] = orig + h
+		plus := lossAt(v)
+		v[i] = orig - h
+		minus := lossAt(v)
+		v[i] = orig
+		numeric := (plus - minus) / (2 * h)
+		scale := math.Max(1e-2, math.Abs(analytic[i])+math.Abs(numeric))
+		if math.Abs(analytic[i]-numeric)/scale > 2e-2 {
+			t.Fatalf("param %d: analytic %.6g vs numeric %.6g", i, analytic[i], numeric)
+		}
+	}
+}
+
+// TestLane32FusedSlotsBitIdenticalToSolo is the f32 fusion contract: a
+// multi-slot fused step must produce bit-identical per-slot results to
+// independent single-slot lanes, regardless of which slot a device occupies.
+func TestLane32FusedSlotsBitIdenticalToSolo(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	net := NewMLP("lane-fused", 16, []int{16}, 10, rng)
+	const slots = 3
+	fused, err := NewLane32(net, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solos := make([]*Lane32, slots)
+	params := make([][]float64, slots)
+	inputs := make([][]float64, slots)
+	labels := make([][]int, slots)
+	for s := 0; s < slots; s++ {
+		solo, err := NewLane32(net, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solos[s] = solo
+		perturbed := net.ParamVector()
+		for i := range perturbed {
+			perturbed[i] += 0.01 * rng.NormFloat64()
+		}
+		params[s] = perturbed
+		_, flat, lb := laneTestBatch(rng, 8, 16)
+		inputs[s], labels[s] = flat, lb
+	}
+	fLoss, fNorm := make([]float64, slots), make([]float64, slots)
+	sLoss, sNorm := make([]float64, 1), make([]float64, 1)
+	for step := 0; step < 3; step++ {
+		for s := 0; s < slots; s++ {
+			if err := fused.LoadParams(s, params[s]); err != nil {
+				t.Fatal(err)
+			}
+			fused.SetInput(s, 8, inputs[s])
+		}
+		fused.TrainStep(slots, 8, labels, 0.05, fLoss, fNorm)
+		for s := 0; s < slots; s++ {
+			if err := solos[s].LoadParams(0, params[s]); err != nil {
+				t.Fatal(err)
+			}
+			solos[s].SetInput(0, 8, inputs[s])
+			solos[s].TrainStep(1, 8, labels[s:s+1], 0.05, sLoss, sNorm)
+			if fLoss[s] != sLoss[0] || fNorm[s] != sNorm[0] {
+				t.Fatalf("step %d slot %d: fused (loss %v, norm %v) != solo (loss %v, norm %v)",
+					step, s, fLoss[s], fNorm[s], sLoss[0], sNorm[0])
+			}
+			fp := fused.ParamsInto(s, nil)
+			sp := solos[s].ParamsInto(0, nil)
+			for i := range fp {
+				if math.Float64bits(fp[i]) != math.Float64bits(sp[i]) {
+					t.Fatalf("step %d slot %d param %d: fused %v != solo %v", step, s, i, fp[i], sp[i])
+				}
+			}
+			params[s] = fp // continue both trajectories from the same point
+		}
+	}
+}
+
+// TestLane32SteadyStateZeroAllocs pins the lane-aware scratch contract: once
+// the pooled buffers exist, SetInput+TrainStep allocates nothing.
+func TestLane32SteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	net := NewMLP("lane-alloc", 16, []int{32, 16}, 10, rng)
+	lane, err := NewLane32(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, flat, labelRow := laneTestBatch(rng, 8, 16)
+	labels := [][]int{labelRow, labelRow}
+	losses, norms := make([]float64, 2), make([]float64, 2)
+	v := net.ParamVector()
+	for s := 0; s < 2; s++ {
+		if err := lane.LoadParams(s, v); err != nil {
+			t.Fatal(err)
+		}
+		lane.SetInput(s, 8, flat)
+	}
+	lane.TrainStep(2, 8, labels, 0.05, losses, norms) // warm-up installs buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		lane.SetInput(0, 8, flat)
+		lane.SetInput(1, 8, flat)
+		lane.TrainStep(2, 8, labels, 0.05, losses, norms)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state f32 TrainStep allocates %v objects per call", allocs)
+	}
+}
+
+// TestLane32RejectsDropout: layers the lane cannot reproduce bit-for-bit
+// (Dropout owns an RNG stream) must fail at construction, not at runtime.
+func TestLane32RejectsDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	net := NewNetwork("lane-drop",
+		NewDense("fc", 8, 8, rng),
+		NewDropout("d", 0.5, rng),
+		NewDense("out", 8, 4, rng),
+	)
+	if _, err := NewLane32(net, 1); err == nil {
+		t.Fatal("NewLane32 accepted a Dropout layer")
+	}
+}
+
+// TestLockstepBitIdenticalToTrainStep is the f64 fusion contract: lockstep
+// execution across several networks must equal per-device TrainStep calls
+// bit-for-bit (losses, gradient norms, updated parameters).
+func TestLockstepBitIdenticalToTrainStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 3
+	fusedNets := make([]*Network, n)
+	soloNets := make([]*Network, n)
+	xs := make([]*tensor.Tensor, n)
+	labels := make([][]int, n)
+	fusedOpts := make([]Optimizer, n)
+	for d := 0; d < n; d++ {
+		net := NewMLP("lockstep", 16, []int{16}, 10, rand.New(rand.NewSource(int64(30+d))))
+		fusedNets[d] = net
+		soloNets[d] = net.Clone()
+		x, _, lb := laneTestBatch(rng, 8, 16)
+		xs[d], labels[d] = x, lb
+		fusedOpts[d] = NewSGD(0.05)
+	}
+	var ls Lockstep
+	losses, norms := make([]float64, n), make([]float64, n)
+	for step := 0; step < 3; step++ {
+		ls.Step(fusedNets, xs, labels, fusedOpts, losses, norms)
+		for d := 0; d < n; d++ {
+			soloLoss, soloNorm := soloNets[d].TrainStep(xs[d], labels[d], NewSGD(0.05))
+			if losses[d] != soloLoss || norms[d] != soloNorm {
+				t.Fatalf("step %d net %d: lockstep (loss %v, norm %v) != solo (loss %v, norm %v)",
+					step, d, losses[d], norms[d], soloLoss, soloNorm)
+			}
+			fp, sp := fusedNets[d].ParamVector(), soloNets[d].ParamVector()
+			for i := range fp {
+				if math.Float64bits(fp[i]) != math.Float64bits(sp[i]) {
+					t.Fatalf("step %d net %d param %d: lockstep %v != solo %v", step, d, i, fp[i], sp[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepSingleEqualsTrainStep: the one-device property — fusing a
+// single network is exactly the unfused step.
+func TestLockstepSingleEqualsTrainStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	fused := NewMLP("single", 16, []int{16}, 10, rng)
+	solo := fused.Clone()
+	x, _, labels := laneTestBatch(rng, 8, 16)
+	var ls Lockstep
+	losses, norms := make([]float64, 1), make([]float64, 1)
+	ls.Step([]*Network{fused}, []*tensor.Tensor{x}, [][]int{labels}, []Optimizer{NewSGD(0.05)}, losses, norms)
+	soloLoss, soloNorm := solo.TrainStep(x, labels, NewSGD(0.05))
+	if losses[0] != soloLoss || norms[0] != soloNorm {
+		t.Fatalf("lockstep (loss %v, norm %v) != TrainStep (loss %v, norm %v)", losses[0], norms[0], soloLoss, soloNorm)
+	}
+	fp, sp := fused.ParamVector(), solo.ParamVector()
+	for i := range fp {
+		if fp[i] != sp[i] {
+			t.Fatalf("param %d: lockstep %v != TrainStep %v", i, fp[i], sp[i])
+		}
+	}
+}

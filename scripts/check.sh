@@ -28,6 +28,12 @@ go test -race -short -run 'TestRunBitIdenticalAcrossWorkerCounts' ./internal/hfl
 echo "== go test -race -short (fed wire protocol + codec)"
 go test -race -short ./internal/fed/ ./internal/codec/
 
+echo "== go test -race -short (fused-path determinism, both lanes)"
+go test -race -short -run 'TestRunF32BitIdenticalAcrossWorkerCounts|TestRunFusedMatchesUnfused' ./internal/hfl
+
+echo "== f32-lane + fusion smoke (seeded run, accuracy within tolerance of f64)"
+go test -count=1 -run 'TestRunF32TracksF64' ./internal/hfl
+
 echo "== scale bench smoke (-exp scale -quick, naive/indexed divergence check)"
 scale_tmp=$(mktemp -d)
 go run ./cmd/machbench -exp scale -quick -out "$scale_tmp" >/dev/null
