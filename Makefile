@@ -8,6 +8,13 @@ check:
 lint:
 	go run ./cmd/machlint ./...
 
+# Regenerate the committed lint artifacts: the suppression ledger
+# (lint_ledger.txt) and the allocfree heap-allocation budget
+# (lint_allocs.txt). make check fails when either is stale.
+lint-ledger:
+	go run ./cmd/machlint -ledger ./... > lint_ledger.txt
+	go run ./cmd/machlint -write-allocs ./...
+
 test:
 	go test ./...
 
@@ -37,4 +44,4 @@ bench-telemetry:
 bench:
 	go test -bench=. -benchmem ./...
 
-.PHONY: check lint test race bench bench-engine bench-comm bench-scale bench-telemetry
+.PHONY: check lint lint-ledger test race bench bench-engine bench-comm bench-scale bench-telemetry

@@ -78,6 +78,8 @@ func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
 // buffers. x must be [len(indices), InC, InH, InW] and labels must have
 // length len(indices); both are fully overwritten. The hot path keeps one
 // pair of buffers per device so every local step reuses the same storage.
+//
+//machlint:noalias labels,indices
 func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, indices []int) {
 	b := len(indices)
 	sl := d.SampleLen()
@@ -103,6 +105,8 @@ func (d *Dataset) RandomBatch(rng *rand.Rand, size int) (*tensor.Tensor, []int) 
 // RandomBatchInto is RandomBatch writing into caller-owned buffers. idx is
 // index scratch of length equal to the batch size; the RNG draws exactly one
 // Intn per sample in slot order, identical to RandomBatch.
+//
+//machlint:noalias labels,idx
 func (d *Dataset) RandomBatchInto(rng *rand.Rand, x *tensor.Tensor, labels, idx []int) {
 	for i := range idx {
 		idx[i] = rng.Intn(len(d.images))

@@ -410,6 +410,8 @@ type edgeStepCounts struct {
 // are built once per edge, and probabilities land in a reused buffer when
 // the strategy implements the in-place fast path. Distinct edges may decide
 // concurrently; everything mutated here is private to edge n.
+//
+//machlint:allocfree
 func (e *Engine) edgeDecide(t, n int) error {
 	plan := &e.plans[n]
 	plan.devs = plan.devs[:0]
@@ -418,8 +420,9 @@ func (e *Engine) edgeDecide(t, n int) error {
 		return nil
 	}
 	st := &e.decide[n]
+	seed := mix(e.cfg.Seed, int64(t)+1, int64(n)+101)
 	if st.rng == nil {
-		st.rng = rand.New(rand.NewSource(1))
+		st.rng = rand.New(rand.NewSource(seed))
 		st.ctx.Edge = n
 		st.ctx.Capacity = e.capacity
 		st.ctx.RNG = st.rng
@@ -429,8 +432,9 @@ func (e *Engine) edgeDecide(t, n int) error {
 		st.ctx.ProbeGradNorm = func(m int) float64 {
 			return e.probeGradNorm(st.ctx.Step, n, m)
 		}
+	} else {
+		st.rng.Seed(seed)
 	}
-	st.rng.Seed(mix(e.cfg.Seed, int64(t)+1, int64(n)+101))
 	st.ctx.Step = t
 	st.ctx.Members = members
 	var probs []float64
@@ -545,6 +549,8 @@ func (e *Engine) localUpdate(dev *device, edgeParams []float64) ([]float64, erro
 // biased active-selection strategies a plain average over participants is
 // used. The edge keeps a double buffer: the outgoing model becomes the next
 // aggregation's scratch, so steady-state aggregation does not allocate.
+//
+//machlint:allocfree
 func (e *Engine) aggregateEdge(n int, results []localResult, unbiased bool) {
 	if len(results) == 0 {
 		return // no participants: edge model carries over

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/mach-fl/mach/internal/det"
+)
+
+// The allocfree check is the suite's one build-integrated analyzer: it has
+// no Run function over ASTs. Instead the driver compiles the linted
+// packages with `go build -gcflags=-m`, parses the compiler's escape
+// diagnostics, and attributes every heap-allocation site ("escapes to
+// heap", "moved to heap") to the enclosing function. Functions annotated
+// //machlint:allocfree — the steady-state hot paths pinned by AllocsPerRun
+// tests — are then compared against the committed per-function budget file
+// (lint_allocs.txt): more sites than budgeted means a hot path regressed;
+// fewer means the budget is stale; a budget entry whose function lost its
+// annotation means coverage silently shrank. All three are findings, so
+// the budget file stays an exact, reviewed inventory, regenerated with
+// `machlint -write-allocs`.
+const (
+	AllocFreeName = "allocfree"
+	AllocFreeDoc  = "heap allocations in //machlint:allocfree hot paths beyond the committed budget (go build -gcflags=-m)"
+
+	// DefaultAllocBudgetPath is the committed budget file, relative to the
+	// lint root.
+	DefaultAllocBudgetPath = "lint_allocs.txt"
+)
+
+// escapeSite is one heap-allocation diagnostic from the compiler.
+type escapeSite struct {
+	absFile string
+	line    int
+	msg     string
+	pos     token.Position // as printed by the compiler, for reports
+}
+
+// runEscapeAnalysis compiles dirs (relative to root) with -gcflags=-m and
+// returns the parsed heap-allocation sites.
+func runEscapeAnalysis(root string, dirs []string) ([]escapeSite, error) {
+	tmp, err := os.MkdirTemp("", "machlint-build")
+	if err != nil {
+		return nil, fmt.Errorf("lint: allocfree temp dir: %w", err)
+	}
+	defer os.RemoveAll(tmp) //machlint:allow errdrop best-effort temp-dir cleanup; a leak cannot affect lint results
+	var pkgs []string
+	for _, d := range dirs {
+		pkgs = append(pkgs, "./"+filepath.ToSlash(d))
+	}
+	// -o soaks up executables so linting a main package never drops a
+	// binary into the tree. go refuses -o when no main package is named;
+	// in that case rebuilding without it writes nothing anyway.
+	args := append([]string{"build", "-gcflags=-m", "-o", tmp + string(os.PathSeparator)}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil && strings.Contains(string(out), "no main packages") {
+		args = append([]string{"build", "-gcflags=-m"}, pkgs...)
+		cmd = exec.Command("go", args...)
+		cmd.Dir = root
+		out, err = cmd.CombinedOutput()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return parseEscapeOutput(root, string(out)), nil
+}
+
+// parseEscapeOutput extracts heap-allocation sites from -gcflags=-m
+// output. Inlining reports, "does not escape" proofs and package headers
+// are dropped.
+func parseEscapeOutput(root, out string) []escapeSite {
+	var sites []escapeSite
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		site, ok := parseEscapeLine(root, sc.Text())
+		if ok {
+			sites = append(sites, site)
+		}
+	}
+	return sites
+}
+
+// parseEscapeLine parses one "file.go:line:col: message" compiler line,
+// keeping only heap-allocation messages.
+func parseEscapeLine(root, line string) (escapeSite, bool) {
+	if !strings.HasSuffix(strings.SplitN(line, ":", 2)[0], ".go") {
+		return escapeSite{}, false
+	}
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 {
+		return escapeSite{}, false
+	}
+	ln, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return escapeSite{}, false
+	}
+	msg := strings.TrimSpace(parts[3])
+	heap := strings.HasPrefix(msg, "moved to heap:") ||
+		(strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "does not escape"))
+	if !heap {
+		return escapeSite{}, false
+	}
+	file := parts[0]
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(root, file)
+	}
+	return escapeSite{
+		absFile: absPath(file),
+		line:    ln,
+		msg:     msg,
+		pos:     token.Position{Filename: parts[0], Line: ln, Column: col},
+	}, true
+}
+
+// allocBudgetEntry is one committed budget line.
+type allocBudgetEntry struct {
+	Count int
+	Line  int // line in the budget file, for orphan diagnostics
+}
+
+// ReadAllocBudget parses the budget file: "<key> <count>" lines, '#'
+// comments and blanks ignored. A missing file is an empty budget.
+func ReadAllocBudget(path string) (map[string]allocBudgetEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]allocBudgetEntry{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: alloc budget: %w", err)
+	}
+	out := map[string]allocBudgetEntry{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("lint: alloc budget %s:%d: want \"<function> <count>\", got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("lint: alloc budget %s:%d: bad count %q", path, i+1, fields[1])
+		}
+		out[fields[0]] = allocBudgetEntry{Count: n, Line: i + 1}
+	}
+	return out, nil
+}
+
+// countEscapes attributes escape sites to annotated functions by source
+// range and returns per-function counts plus each function's first site.
+func countEscapes(facts *Facts, sites []escapeSite) (counts map[string]int, first map[string]escapeSite) {
+	counts = map[string]int{}
+	first = map[string]escapeSite{}
+	for _, ff := range facts.All {
+		if ff.AllocFree {
+			counts[ff.Key] = 0
+		}
+	}
+	for _, site := range sites {
+		for _, ff := range facts.All {
+			if !ff.AllocFree || ff.AbsFile != site.absFile ||
+				site.line < ff.StartLine || site.line > ff.EndLine {
+				continue
+			}
+			counts[ff.Key]++
+			if _, ok := first[ff.Key]; !ok {
+				first[ff.Key] = site
+			}
+			break
+		}
+	}
+	return counts, first
+}
+
+// checkAllocBudget compares measured counts against the committed budget.
+// Over-budget findings anchor at the annotated function's declaration (so
+// a //machlint:allow allocfree there can waive them); stale and orphan
+// findings anchor in the budget file itself and are not suppressible.
+// loadedDirs restricts orphan detection to packages that were actually
+// linted, so `machlint ./internal/hfl` does not misreport every other
+// package's budget entries as orphaned.
+func checkAllocBudget(fset *token.FileSet, facts *Facts, counts map[string]int, first map[string]escapeSite,
+	budget map[string]allocBudgetEntry, budgetPath string, loadedDirs []string) []Diagnostic {
+	var diags []Diagnostic
+	loaded := map[string]bool{}
+	for _, d := range loadedDirs {
+		loaded[d] = true
+	}
+	for _, ff := range facts.All {
+		if !ff.AllocFree {
+			continue
+		}
+		got := counts[ff.Key]
+		want := budget[ff.Key].Count
+		switch {
+		case got > want:
+			site := first[ff.Key]
+			diags = append(diags, Diagnostic{
+				Pos:   fset.Position(ff.NamePos),
+				Check: AllocFreeName,
+				Message: fmt.Sprintf("%s is //machlint:allocfree but has %d heap-allocation site(s), budget %d (%s:%d: %s) — remove the allocation or regenerate %s with machlint -write-allocs",
+					ff.Key, got, want, site.pos.Filename, site.pos.Line, site.msg, budgetPath),
+			})
+		case got < want:
+			diags = append(diags, Diagnostic{
+				Pos:   token.Position{Filename: budgetPath, Line: budget[ff.Key].Line, Column: 1},
+				Check: AllocFreeName,
+				Message: fmt.Sprintf("stale budget: %s now has %d heap-allocation site(s), budget says %d; regenerate with machlint -write-allocs",
+					ff.Key, got, want),
+			})
+		}
+	}
+	for _, k := range det.SortedKeys(budget) {
+		dir := budgetKeyDir(k)
+		if !loaded[dir] {
+			continue
+		}
+		if _, ok := counts[k]; !ok {
+			diags = append(diags, Diagnostic{
+				Pos:   token.Position{Filename: budgetPath, Line: budget[k].Line, Column: 1},
+				Check: AllocFreeName,
+				Message: fmt.Sprintf("budget entry %s has no //machlint:allocfree function; restore the annotation or regenerate with machlint -write-allocs",
+					k),
+			})
+		}
+	}
+	return diags
+}
+
+// budgetKeyDir strips the function part of a budget key, leaving the
+// package directory ("internal/hfl.(*Engine).edgeDecide" → "internal/hfl").
+func budgetKeyDir(key string) string {
+	i := strings.IndexByte(key, '.')
+	if i < 0 {
+		return key
+	}
+	return key[:i]
+}
+
+// WriteAllocBudget regenerates the budget file from the measured counts of
+// every annotated function, sorted by key.
+func WriteAllocBudget(path string, counts map[string]int) error {
+	var b strings.Builder
+	b.WriteString("# machlint allocfree budget — heap-allocation sites (go build -gcflags=-m)\n")
+	b.WriteString("# permitted per //machlint:allocfree function. Regenerate with\n")
+	b.WriteString("# `machlint -write-allocs` (or `make lint-ledger`); make check fails on drift.\n")
+	for _, k := range det.SortedKeys(counts) {
+		fmt.Fprintf(&b, "%s %d\n", k, counts[k])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

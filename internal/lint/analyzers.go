@@ -1,6 +1,34 @@
 package lint
 
-// Analyzers returns the full machlint suite in stable order.
+import "sort"
+
+// Analyzers returns the full AST-analyzer suite in stable order. The
+// allocfree check is not in this list: it is driven by the compiler's
+// escape analysis rather than a Run function, and the Runner schedules it
+// as a separate phase (see allocfree.go). AllChecks covers both.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapRange, GlobalRand, WallTime, FloatEq, ErrDrop, MutexCopy}
+	return []*Analyzer{
+		MapRange, GlobalRand, WallTime, FloatEq, ErrDrop, MutexCopy,
+		RandShare, IntoAlias, SelectDet,
+	}
+}
+
+// AllChecks returns every check name the suite knows — the nine AST
+// analyzers plus the build-integrated allocfree check — sorted. This is
+// the set -checks and //machlint:allow directives are validated against.
+func AllChecks() []string {
+	names := []string{AllocFreeName}
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func allChecksSet() map[string]bool {
+	set := map[string]bool{}
+	for _, n := range AllChecks() {
+		set[n] = true
+	}
+	return set
 }

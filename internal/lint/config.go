@@ -99,6 +99,16 @@ func (c *Config) Keep(names []string) {
 //   - floateq and errdrop guard non-test code everywhere; tests compare
 //     floats exactly on purpose (bit-identity contracts) and may drop
 //     errors for brevity.
+//   - randshare and selectdet guard the deterministic simulation core, like
+//     globalrand: CLIs and the bench harness may use ad-hoc goroutines, and
+//     tests may share rands deliberately (e.g. to provoke races under
+//     -race).
+//   - intoalias guards non-test code everywhere: every *Into buffer
+//     function must declare its aliasing contract and every call site is
+//     checked against it. Tests are exempt — they routinely alias buffers
+//     on purpose to pin in-place semantics.
+//   - allocfree runs everywhere it finds annotations; scoping is by
+//     annotation, not path.
 func DefaultConfig() *Config {
 	return &Config{Rules: map[string]*Rule{
 		"maprange":  {Enabled: true},
@@ -135,5 +145,17 @@ func DefaultConfig() *Config {
 				"(*bytes.Buffer).WriteString",
 			},
 		},
+		"randshare": {
+			Enabled:   true,
+			SkipTests: true,
+			Skip:      []string{"internal/bench", "cmd", "examples"},
+		},
+		"selectdet": {
+			Enabled:   true,
+			SkipTests: true,
+			Skip:      []string{"cmd", "examples"},
+		},
+		"intoalias": {Enabled: true, SkipTests: true},
+		"allocfree": {Enabled: true},
 	}}
 }

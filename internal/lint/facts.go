@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// Annotation directives recognized on function declarations. Unlike
+// //machlint:allow (which waives one finding), these *declare contracts*
+// that analyzers then enforce at every call site and build:
+//
+//	//machlint:noalias <p1,p2[,p3...]> [<q1,q2> ...]
+//	    Each comma-joined group names parameters that must never alias each
+//	    other at a call site. Multiple space-separated groups express
+//	    independent constraints: "dst,a dst,b" forbids dst↔a and dst↔b but
+//	    permits a↔b (the A·A product).
+//	//machlint:aliasok <justification>
+//	    The function tolerates argument aliasing by construction (e.g. it
+//	    reads every input before the first write). The justification is
+//	    mandatory, mirroring the allow-directive rule.
+//	//machlint:allocfree
+//	    The function is a steady-state hot path that must not gain heap
+//	    allocations. The allocfree analyzer compares its `go build
+//	    -gcflags=-m` escape sites against the committed budget file.
+const (
+	NoAliasDirective   = "machlint:noalias"
+	AliasOKDirective   = "machlint:aliasok"
+	AllocFreeDirective = "machlint:allocfree"
+)
+
+// FuncFacts is everything the cross-function analyzers know about one
+// declared function: its identity, source extent, and annotation-declared
+// contracts. Facts are collected from every loaded unit before analyzers
+// run, so a call in internal/nn can be checked against a contract declared
+// in internal/tensor.
+type FuncFacts struct {
+	// Key identifies the function for the alloc-budget file:
+	// "<pkgdir>.<name>" with methods rendered as "(Recv).Name",
+	// e.g. "internal/hfl.(*Engine).edgeDecide".
+	Key string
+	// Path is the unit's package directory (slash-separated, lint-root
+	// relative).
+	Path string
+	// AbsFile, StartLine and EndLine delimit the declaration in the source
+	// tree; escape diagnostics are attributed to functions by this range.
+	AbsFile   string
+	StartLine int
+	EndLine   int
+	// NamePos is the declaration identifier's position (diagnostics anchor).
+	NamePos token.Pos
+
+	// NoAliasGroups holds the parameter-name groups of a noalias directive
+	// (nil when absent). Names are validated by the intoalias analyzer.
+	NoAliasGroups [][]string
+	// AliasOK marks an aliasok directive; AliasReason carries its
+	// justification (empty = invalid, flagged by intoalias).
+	AliasOK     bool
+	AliasReason string
+	// AllocFree marks an allocfree directive.
+	AllocFree bool
+}
+
+// Annotated reports whether the function declares any aliasing contract.
+func (f *FuncFacts) Annotated() bool {
+	return f != nil && (len(f.NoAliasGroups) > 0 || f.AliasOK)
+}
+
+// Facts indexes every annotated (and *Into-named) function across all
+// loaded units. The index key is the declaration identifier's resolved
+// file position, which is stable between a unit's own parse and the source
+// importer's parse of the same file — that is what lets a types.Func
+// resolved through an import find the fact recorded from the defining
+// unit.
+type Facts struct {
+	byPos map[string]*FuncFacts
+	// All lists every recorded function in collection order (units are
+	// loaded in sorted dir order, files in sorted name order), so
+	// downstream output is deterministic without re-sorting.
+	All []*FuncFacts
+}
+
+// posKey normalizes a declaration position to an absolute-path key.
+func posKey(pos token.Position) string {
+	return absPath(pos.Filename) + ":" + itoa(pos.Line) + ":" + itoa(pos.Column)
+}
+
+// absPath best-effort resolves a (possibly relative) filename against the
+// process working directory; on failure the cleaned input is used, which
+// still matches as long as both sides fail identically.
+func absPath(name string) string {
+	if abs, err := filepath.Abs(name); err == nil {
+		return abs
+	}
+	return filepath.Clean(name)
+}
+
+// itoa avoids pulling strconv into the hot key path for no reason other
+// than symmetry; small positive ints only.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// ByFunc returns the facts recorded for the function declared at pos (a
+// types.Func.Pos(), from either the unit's own parse or an import), or nil.
+func (fs *Facts) ByFunc(fset *token.FileSet, pos token.Pos) *FuncFacts {
+	if fs == nil || !pos.IsValid() {
+		return nil
+	}
+	return fs.byPos[posKey(fset.Position(pos))]
+}
+
+// CollectFacts scans every unit's function declarations for machlint
+// directives. It is a pure collection pass: validation (unknown parameter
+// names, missing justifications) is the intoalias analyzer's job so the
+// findings carry normal diagnostic positions and suppression semantics.
+func CollectFacts(units []*Unit) *Facts {
+	fs := &Facts{byPos: map[string]*FuncFacts{}}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				ff := collectFuncFacts(u, fd)
+				key := posKey(u.Fset.Position(fd.Name.Pos()))
+				if _, dup := fs.byPos[key]; dup {
+					continue // impossible for well-formed loads; first wins
+				}
+				fs.byPos[key] = ff
+				fs.All = append(fs.All, ff)
+			}
+		}
+	}
+	return fs
+}
+
+func collectFuncFacts(u *Unit, fd *ast.FuncDecl) *FuncFacts {
+	pos := u.Fset.Position(fd.Name.Pos())
+	ff := &FuncFacts{
+		Key:       u.Path + "." + funcDisplayName(fd),
+		Path:      u.Path,
+		AbsFile:   absPath(pos.Filename),
+		StartLine: u.Fset.Position(fd.Pos()).Line,
+		EndLine:   u.Fset.Position(fd.End()).Line,
+		NamePos:   fd.Name.Pos(),
+	}
+	if fd.Doc == nil {
+		return ff
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		switch {
+		case strings.HasPrefix(text, NoAliasDirective):
+			rest := strings.TrimSpace(strings.TrimPrefix(text, NoAliasDirective))
+			for _, group := range strings.Fields(rest) {
+				ff.NoAliasGroups = append(ff.NoAliasGroups, strings.Split(group, ","))
+			}
+		case strings.HasPrefix(text, AliasOKDirective):
+			ff.AliasOK = true
+			ff.AliasReason = strings.TrimSpace(strings.TrimPrefix(text, AliasOKDirective))
+		case strings.HasPrefix(text, AllocFreeDirective):
+			ff.AllocFree = true
+		}
+	}
+	return ff
+}
+
+// funcDisplayName renders "Name" for functions and "(Recv).Name" /
+// "(*Recv).Name" for methods, matching the alloc-budget key format.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := typeExprString(fd.Recv.List[0].Type)
+	return "(" + recv + ")." + fd.Name.Name
+}
+
+// typeExprString renders the small subset of type expressions receivers
+// use (ident, pointer, generic instantiation) without importing go/printer.
+func typeExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeExprString(e.X)
+	case *ast.IndexExpr:
+		return typeExprString(e.X) + "[" + typeExprString(e.Index) + "]"
+	case *ast.SelectorExpr:
+		return typeExprString(e.X) + "." + e.Sel.Name
+	default:
+		return "?"
+	}
+}

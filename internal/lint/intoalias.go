@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IntoAlias enforces the aliasing contract of the repo's `*Into` functions
+// (the allocation-free fast paths that write results into caller-owned
+// buffers). Three rules:
+//
+//  1. Contract declaration: every function whose name ends in "Into" and
+//     that has at least one pair of potentially-overlapping parameters
+//     (two slices of the same element type, or two pointers to the same
+//     type) must declare its contract — //machlint:noalias for functions
+//     that corrupt results under aliasing (the in-place matmul kernels
+//     read operands while writing dst), or //machlint:aliasok with a
+//     justification for functions engineered to tolerate it
+//     (capProbabilitiesInto accumulates the total before the first
+//     write). Deleting an annotation from a covered function is a hard
+//     lint error, not a silent loss of coverage.
+//  2. Annotation validity: noalias groups must name real parameters (and
+//     at least two per group); aliasok requires a justification; a
+//     function cannot declare both.
+//  3. Call-site checking: at every call of a noalias-annotated function —
+//     including cross-package calls, via the driver's fact index — the
+//     arguments bound to a group's parameters must not refer to the same
+//     storage. "May alias" is syntactic: both arguments resolve to the
+//     same root variable with one access path a prefix of the other
+//     (probs vs probs, st.buf vs st.buf[1:], x vs x.field). Expressions
+//     rooted in fresh values (calls, literals) never alias.
+var IntoAlias = &Analyzer{
+	Name: "intoalias",
+	Doc:  "aliasing-contract violations on *Into buffer functions (//machlint:noalias, //machlint:aliasok)",
+	Run:  runIntoAlias,
+}
+
+func runIntoAlias(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				p.checkIntoDecl(n)
+			case *ast.CallExpr:
+				p.checkIntoCall(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkIntoDecl validates a declaration's annotations and requires a
+// contract on alias-prone *Into functions.
+func (p *Pass) checkIntoDecl(fd *ast.FuncDecl) {
+	fact := p.Facts.ByFunc(p.Fset, fd.Name.Pos())
+	params := paramNames(fd)
+	if fact != nil {
+		if len(fact.NoAliasGroups) > 0 && fact.AliasOK {
+			p.Reportf(fd.Name.Pos(), "%s declares both //machlint:noalias and //machlint:aliasok; pick one contract", fd.Name.Name)
+		}
+		if fact.AliasOK && fact.AliasReason == "" {
+			p.Reportf(fd.Name.Pos(), "//machlint:aliasok on %s needs a justification explaining why aliasing is safe", fd.Name.Name)
+		}
+		for _, group := range fact.NoAliasGroups {
+			if len(group) < 2 {
+				p.Reportf(fd.Name.Pos(), "//machlint:noalias group %q on %s needs at least two parameter names", strings.Join(group, ","), fd.Name.Name)
+			}
+			for _, name := range group {
+				if !params[name] {
+					p.Reportf(fd.Name.Pos(), "//machlint:noalias on %s names unknown parameter %q", fd.Name.Name, name)
+				}
+			}
+		}
+	}
+	if !strings.HasSuffix(fd.Name.Name, "Into") || fact.Annotated() {
+		return
+	}
+	if a, b, ok := p.aliasPronePair(fd); ok {
+		p.Reportf(fd.Name.Pos(), "%s writes into a caller-owned buffer but declares no aliasing contract for its overlapping-capable parameters (%s, %s); add //machlint:noalias or a justified //machlint:aliasok", fd.Name.Name, a, b)
+	}
+}
+
+// paramNames returns the declared parameter names of a function.
+func paramNames(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			out[name.Name] = true
+		}
+	}
+	return out
+}
+
+// aliasPronePair returns the first parameter pair whose types could
+// overlap in memory: identical slice element types or identical pointer
+// targets. Receivers are not considered.
+func (p *Pass) aliasPronePair(fd *ast.FuncDecl) (a, b string, ok bool) {
+	type param struct {
+		name string
+		typ  types.Type
+	}
+	var params []param
+	if fd.Type.Params == nil {
+		return "", "", false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		for _, name := range field.Names {
+			params = append(params, param{name.Name, t})
+		}
+	}
+	for i := 0; i < len(params); i++ {
+		for j := i + 1; j < len(params); j++ {
+			if typesMayOverlap(params[i].typ, params[j].typ) {
+				return params[i].name, params[j].name, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func typesMayOverlap(a, b types.Type) bool {
+	if sa, ok := a.Underlying().(*types.Slice); ok {
+		if sb, ok := b.Underlying().(*types.Slice); ok {
+			return types.Identical(sa.Elem(), sb.Elem())
+		}
+	}
+	if pa, ok := a.Underlying().(*types.Pointer); ok {
+		if pb, ok := b.Underlying().(*types.Pointer); ok {
+			return types.Identical(pa.Elem(), pb.Elem())
+		}
+	}
+	return false
+}
+
+// checkIntoCall verifies the noalias groups of the callee (resolved
+// through the cross-unit fact index) against the actual arguments.
+func (p *Pass) checkIntoCall(call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	fact := p.Facts.ByFunc(p.Fset, fn.Pos())
+	if fact == nil || len(fact.NoAliasGroups) == 0 {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	idx := map[string]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		idx[sig.Params().At(i).Name()] = i
+	}
+	argFor := func(name string) ast.Expr {
+		i, ok := idx[name]
+		if !ok || i >= len(call.Args) {
+			return nil
+		}
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			return nil // variadic tails are out of scope
+		}
+		return call.Args[i]
+	}
+	for _, group := range fact.NoAliasGroups {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := argFor(group[i]), argFor(group[j])
+				if a == nil || b == nil {
+					continue
+				}
+				if exprsMayAlias(p, a, b) {
+					p.Reportf(b.Pos(), "arguments for %q and %q of %s may alias the same storage; %s declares them //machlint:noalias", group[i], group[j], fn.Name(), fn.Name())
+				}
+			}
+		}
+	}
+}
+
+// exprsMayAlias reports whether two argument expressions can refer to
+// overlapping storage: same root variable, one access path a prefix of
+// the other. Unresolvable roots (call results, literals) never alias.
+func exprsMayAlias(p *Pass, a, b ast.Expr) bool {
+	objA, pathA, okA := aliasChain(p, a)
+	objB, pathB, okB := aliasChain(p, b)
+	if !okA || !okB || objA != objB {
+		return false
+	}
+	return pathPrefix(pathA, pathB) || pathPrefix(pathB, pathA)
+}
+
+// pathPrefix reports whether a is b or a segment-boundary prefix of b.
+func pathPrefix(a, b string) bool {
+	return a == b || strings.HasPrefix(b, a+".")
+}
+
+// aliasChain resolves an expression to (root variable, access path).
+// Slicing, indexing, dereferencing and address-taking stay within the same
+// storage and are stripped; selectors extend the path.
+func aliasChain(p *Pass, e ast.Expr) (types.Object, string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op.String() != "&" {
+				return nil, "", false
+			}
+			e = x.X
+		case *ast.Ident:
+			obj := p.ObjectOf(x)
+			if _, ok := obj.(*types.Var); !ok {
+				return nil, "", false
+			}
+			return obj, x.Name, true
+		case *ast.SelectorExpr:
+			// Package-qualified variable: the selected object is the root.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := p.ObjectOf(id).(*types.PkgName); isPkg {
+					obj := p.ObjectOf(x.Sel)
+					if _, ok := obj.(*types.Var); !ok {
+						return nil, "", false
+					}
+					return obj, x.Sel.Name, true
+				}
+			}
+			obj, path, ok := aliasChain(p, x.X)
+			if !ok {
+				return nil, "", false
+			}
+			return obj, path + "." + x.Sel.Name, true
+		default:
+			return nil, "", false
+		}
+	}
+}

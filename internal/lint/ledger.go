@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/mach-fl/mach/internal/det"
+)
+
+// DefaultLedgerPath is the committed suppression ledger, relative to the
+// lint root. `machlint -ledger` prints the current inventory to stdout;
+// `make lint-ledger` redirects it here and `make check` fails when the
+// committed copy is stale, so every new //machlint:allow shows up in
+// review as a ledger diff, not just a comment buried in a source hunk.
+const DefaultLedgerPath = "lint_ledger.txt"
+
+// ledgerEntry aggregates identical suppressions: same file, same waived
+// check, same justification.
+type ledgerEntry struct {
+	file   string
+	check  string
+	reason string
+	count  int
+}
+
+// BuildLedger parses every .go file (tests included) under the matched
+// packages and returns the sorted suppression inventory. Malformed
+// directives — no check named, or no justification — are an error: the
+// ledger is an audit artifact and must not silently absorb waivers that
+// the linter itself would reject.
+func BuildLedger(root string, patterns []string) (string, error) {
+	dirs, err := ExpandPatterns(root, patterns)
+	if err != nil {
+		return "", err
+	}
+	fset := token.NewFileSet()
+	agg := map[string]*ledgerEntry{}
+	var bad []string
+	for _, dir := range dirs {
+		abs := filepath.Join(root, filepath.FromSlash(dir))
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return "", fmt.Errorf("lint: read %s: %w", abs, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return "", fmt.Errorf("lint: %w", err)
+			}
+			rel := dir + "/" + name
+			if dir == "." {
+				rel = name
+			}
+			for _, s := range parseSuppressions(fset, f) {
+				if len(s.checks) == 0 || s.reason == "" {
+					bad = append(bad, fmt.Sprintf("%s:%d: //machlint:allow needs a check name and a justification", rel, s.line))
+					continue
+				}
+				for _, c := range s.checks {
+					key := rel + "\x00" + c + "\x00" + s.reason
+					if agg[key] == nil {
+						agg[key] = &ledgerEntry{file: rel, check: c, reason: s.reason}
+					}
+					agg[key].count++
+				}
+			}
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return "", fmt.Errorf("lint: malformed suppression(s):\n  %s", strings.Join(bad, "\n  "))
+	}
+
+	// The aggregation key is file\x00check\x00reason; NUL sorts below every
+	// printable byte, so sorted-key order is exactly (file, check, reason)
+	// tuple order.
+	list := make([]*ledgerEntry, 0, len(agg))
+	for _, k := range det.SortedKeys(agg) {
+		list = append(list, agg[k])
+	}
+
+	var sb strings.Builder
+	sb.WriteString("# machlint suppression ledger — every //machlint:allow in the tree,\n")
+	sb.WriteString("# aggregated by (file, check, justification). Regenerate with\n")
+	sb.WriteString("# `make lint-ledger`; make check fails when this file is stale.\n")
+	total := 0
+	for _, e := range list {
+		total += e.count
+		fmt.Fprintf(&sb, "%s %s x%d — %s\n", e.file, e.check, e.count, e.reason)
+	}
+	fmt.Fprintf(&sb, "# total: %d suppression(s) across %d site group(s)\n", total, len(list))
+	return sb.String(), nil
+}

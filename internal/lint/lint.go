@@ -3,19 +3,31 @@
 // invariants that the runtime tests (DESIGN.md §5) can only spot-check:
 // no observable map-iteration order, no wall-clock or global-randomness
 // reads inside the simulation core, no exact float comparison, no dropped
-// errors, no by-value lock copies.
+// errors, no by-value lock copies, no constant-seeded or goroutine-shared
+// rand streams, no scheduler-ordered channel patterns, no aliasing-contract
+// violations on *Into buffer functions, and no heap allocations creeping
+// into //machlint:allocfree hot paths beyond the committed budget.
 //
 // The suite is built only on the standard library (go/parser, go/ast,
 // go/types, go/token), honoring the repo's stdlib-only rule. Analyzers are
 // pluggable (Analyzer), findings carry file:line:col positions
-// (Diagnostic), enablement is package-scoped (Config), and individual
-// findings can be waived in source with a justified suppression comment:
+// (Diagnostic), enablement is package-scoped (Config), and whole-package
+// facts — the //machlint:noalias, //machlint:aliasok and
+// //machlint:allocfree contracts on function declarations — are collected
+// across every loaded unit before analyzers run (Facts), so call sites are
+// checked against contracts declared in other packages.
+//
+// Individual findings can be waived in source with a justified suppression
+// comment:
 //
 //	//machlint:allow <check>[,<check>...] <justification>
 //
 // placed either at the end of the offending line or on the line
-// immediately above it. A suppression without a justification is
-// deliberately inert: every waiver must say why.
+// immediately above it. Suppressions are themselves linted: a directive
+// without a justification or naming an unknown check is a hard error, and
+// a justified suppression that no longer waives anything is reported as
+// stale, so the committed ledger (lint_ledger.txt, `machlint -ledger`)
+// stays an exact inventory of the repo's debt.
 package lint
 
 import (
@@ -66,6 +78,10 @@ type Pass struct {
 	// Rule is the effective configuration for this analyzer in this
 	// package (never nil; used e.g. for the errdrop allowlist).
 	Rule *Rule
+	// Facts indexes the annotation-declared contracts of every function in
+	// every loaded unit (never nil; empty when the driver ran without a
+	// collection pass).
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -111,13 +127,19 @@ type suppression struct {
 	line   int // line the comment appears on
 	checks []string
 	reason string
+	// path and isTest locate the suppression for the staleness audit: a
+	// suppression is only expected to fire where its check actually runs.
+	path   string
+	isTest bool
+	// used flips when the suppression waives at least one diagnostic.
+	used bool
 }
 
-// parseSuppressions extracts every justified machlint:allow directive from
-// a file's comments. Directives without a justification are returned with
-// an empty reason and never suppress anything.
-func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
-	var out []suppression
+// parseSuppressions extracts every machlint:allow directive from a file's
+// comments, malformed ones included (empty checks / empty reason) — the
+// driver turns those into hard errors rather than ignoring them.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
+	var out []*suppression
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -128,67 +150,160 @@ func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
 				continue
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
-			if rest == "" {
-				continue
-			}
-			fields := strings.Fields(rest)
 			pos := fset.Position(c.Pos())
-			out = append(out, suppression{
-				file:   pos.Filename,
-				line:   pos.Line,
-				checks: strings.Split(fields[0], ","),
-				reason: strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
-			})
+			s := &suppression{file: pos.Filename, line: pos.Line}
+			if rest != "" {
+				fields := strings.Fields(rest)
+				for _, c := range strings.Split(fields[0], ",") {
+					if c = strings.TrimSpace(c); c != "" {
+						s.checks = append(s.checks, c)
+					}
+				}
+				s.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+			}
+			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// suppressionIndex answers "is (file, line, check) waived?".
-type suppressionIndex map[string]map[int]map[string]bool
+// suppressionIndex answers "is (file, line, check) waived?" and remembers
+// which directives actually fired, for the staleness audit.
+type suppressionIndex struct {
+	byLine map[string]map[int]map[string]*suppression
+	all    []*suppression
+}
 
-func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
-	idx := suppressionIndex{}
-	add := func(file string, line int, check string) {
-		if idx[file] == nil {
-			idx[file] = map[int]map[string]bool{}
-		}
-		if idx[file][line] == nil {
-			idx[file][line] = map[string]bool{}
-		}
-		idx[file][line][check] = true
-	}
-	for _, f := range files {
-		for _, s := range parseSuppressions(fset, f) {
-			if s.reason == "" {
-				continue // unjustified waivers are inert by design
+func newSuppressionIndex() *suppressionIndex {
+	return &suppressionIndex{byLine: map[string]map[int]map[string]*suppression{}}
+}
+
+func buildSuppressionIndex(u *Unit) *suppressionIndex {
+	idx := newSuppressionIndex()
+	for _, f := range u.Files {
+		test := isTestFile(u.Fset, f)
+		for _, s := range parseSuppressions(u.Fset, f) {
+			s.path = u.Path
+			s.isTest = test
+			idx.all = append(idx.all, s)
+			if s.reason == "" || len(s.checks) == 0 {
+				continue // malformed: reported as an error, never suppresses
 			}
 			for _, c := range s.checks {
-				c = strings.TrimSpace(c)
-				if c == "" {
-					continue
-				}
 				// A trailing comment covers its own line; a standalone
 				// comment covers the line below it. Registering both is
 				// harmless because diagnostics never sit on a pure
 				// comment line's directive itself.
-				add(s.file, s.line, c)
-				add(s.file, s.line+1, c)
+				idx.add(s.file, s.line, c, s)
+				idx.add(s.file, s.line+1, c, s)
 			}
 		}
 	}
 	return idx
 }
 
-func (idx suppressionIndex) suppressed(d Diagnostic) bool {
-	return idx[d.Pos.Filename][d.Pos.Line][d.Check]
+func (idx *suppressionIndex) add(file string, line int, check string, s *suppression) {
+	if idx.byLine[file] == nil {
+		idx.byLine[file] = map[int]map[string]*suppression{}
+	}
+	if idx.byLine[file][line] == nil {
+		idx.byLine[file][line] = map[string]*suppression{}
+	}
+	idx.byLine[file][line][check] = s
+}
+
+// suppressed reports whether d is waived, marking the waiving directive
+// used.
+func (idx *suppressionIndex) suppressed(d Diagnostic) bool {
+	s := idx.byLine[d.Pos.Filename][d.Pos.Line][d.Check]
+	if s == nil {
+		return false
+	}
+	s.used = true
+	return true
+}
+
+// merge folds other's directives into idx (used for the whole-run index
+// the allocfree phase and the staleness audit consult).
+func (idx *suppressionIndex) merge(other *suppressionIndex) {
+	idx.all = append(idx.all, other.all...)
+	for file, lines := range other.byLine {
+		for line, checks := range lines {
+			for check, s := range checks {
+				idx.add(file, line, check, s)
+			}
+		}
+	}
+}
+
+// directiveDiags reports malformed directives — missing check name,
+// missing justification, or an unknown check — as hard errors under the
+// pseudo-check "allow". These are never themselves suppressible.
+func (idx *suppressionIndex) directiveDiags(known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(s *suppression, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     token.Position{Filename: s.file, Line: s.line, Column: 1},
+			Check:   "allow",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, s := range idx.all {
+		switch {
+		case len(s.checks) == 0:
+			report(s, "//machlint:allow names no check; use //machlint:allow <check> <justification>")
+		case s.reason == "":
+			report(s, "//machlint:allow %s has no justification; every waiver must say why", strings.Join(s.checks, ","))
+		default:
+			for _, c := range s.checks {
+				if !known[c] {
+					report(s, "//machlint:allow names unknown check %q (known: %s)", c, strings.Join(AllChecks(), ", "))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// unusedDiags reports justified suppressions that waived nothing this run.
+// active filters to directives whose check actually ran at that location,
+// so a suppression is not called stale merely because its check is skipped
+// there (or the run was restricted with -checks).
+func (idx *suppressionIndex) unusedDiags(active func(s *suppression, check string) bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, s := range idx.all {
+		if s.used || s.reason == "" || len(s.checks) == 0 {
+			continue
+		}
+		ran := false
+		for _, c := range s.checks {
+			if active(s, c) {
+				ran = true
+				break
+			}
+		}
+		if !ran {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     token.Position{Filename: s.file, Line: s.line, Column: 1},
+			Check:   "allow",
+			Message: fmt.Sprintf("stale suppression: //machlint:allow %s no longer waives any finding; delete it (ledger: make lint-ledger)", strings.Join(s.checks, ",")),
+		})
+	}
+	return diags
 }
 
 // runUnit applies every configured analyzer to one type-checked unit and
-// returns the surviving (non-suppressed) diagnostics.
-func runUnit(u *Unit, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+// returns the surviving (non-suppressed) diagnostics plus the unit's
+// suppression index (with used-markings) for whole-run bookkeeping.
+// Malformed allow directives are appended as unsuppressible errors.
+func runUnit(u *Unit, cfg *Config, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, *suppressionIndex) {
 	var diags []Diagnostic
-	idx := buildSuppressionIndex(u.Fset, u.Files)
+	idx := buildSuppressionIndex(u)
+	if facts == nil {
+		facts = &Facts{byPos: map[string]*FuncFacts{}}
+	}
 	for _, a := range analyzers {
 		rule := cfg.rule(a.Name)
 		if !rule.appliesTo(u.Path) {
@@ -214,6 +329,7 @@ func runUnit(u *Unit, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      u.Pkg,
 			Info:     u.Info,
 			Rule:     rule,
+			Facts:    facts,
 			diags:    &diags,
 		}
 		a.Run(pass)
@@ -224,7 +340,8 @@ func runUnit(u *Unit, cfg *Config, analyzers []*Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
-	return kept
+	kept = append(kept, idx.directiveDiags(allChecksSet())...)
+	return kept, idx
 }
 
 // sortDiagnostics orders findings by file, line, column, then check name,

@@ -40,9 +40,11 @@ func runFixture(t *testing.T, a *Analyzer) {
 	for _, terr := range u.TypeErrors {
 		t.Errorf("fixture must type-check cleanly: %v", terr)
 	}
-	diags := runUnit(u, DefaultConfig(), []*Analyzer{a})
+	diags, _ := runUnit(u, DefaultConfig(), []*Analyzer{a}, CollectFacts(units))
 
-	// Collect want expectations per line.
+	// Collect want expectations per line. Block-comment wants
+	// (/* want "rx" */) let a fixture line that is itself a //machlint
+	// directive still carry an expectation.
 	type want struct {
 		rx  *regexp.Regexp
 		hit bool
@@ -51,7 +53,10 @@ func runFixture(t *testing.T, a *Analyzer) {
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
 				if !strings.HasPrefix(text, "want ") {
 					continue
 				}
@@ -215,7 +220,7 @@ func f() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx := buildSuppressionIndex(fset, []*ast.File{f})
+	idx := buildSuppressionIndex(&Unit{Path: "p", Fset: fset, Files: []*ast.File{f}})
 	diag := func(line int, check string) Diagnostic {
 		return Diagnostic{Pos: token.Position{Filename: "p.go", Line: line}, Check: check}
 	}

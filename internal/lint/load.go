@@ -212,34 +212,132 @@ type Runner struct {
 	Config *Config
 	// Stderr receives type-checker warnings; nil silences them.
 	Stderr io.Writer
+	// AllocBudget overrides the allocfree budget file location — relative
+	// to Root unless absolute. Empty means DefaultAllocBudgetPath. Tests
+	// use this to point fixture runs at fixture budgets.
+	AllocBudget string
 }
 
 // Run lints the packages matched by patterns and returns the surviving
 // findings, sorted by position.
 func (r *Runner) Run(patterns []string) ([]Diagnostic, error) {
+	return r.run(patterns, false)
+}
+
+// WriteAllocs regenerates the allocfree budget file from the current tree
+// (the -write-allocs flag) and returns the non-allocfree findings.
+func (r *Runner) WriteAllocs(patterns []string) ([]Diagnostic, error) {
+	return r.run(patterns, true)
+}
+
+// run is the two-phase driver. Phase one loads and type-checks every
+// matched package, collects the cross-unit function facts, and applies the
+// AST analyzers per unit. Phase two — gated on the allocfree rule and on
+// there being anything to check — compiles the matched packages with
+// -gcflags=-m and audits the escape sites of annotated functions against
+// the committed budget. Finally every justified-but-unused suppression in
+// scope of a check that actually ran is reported as stale.
+func (r *Runner) run(patterns []string, writeAllocs bool) ([]Diagnostic, error) {
 	dirs, err := ExpandPatterns(r.Root, patterns)
 	if err != nil {
 		return nil, err
 	}
 	loader := NewLoader()
-	analyzers := Analyzers()
-	var diags []Diagnostic
+	var units []*Unit
 	for _, dir := range dirs {
-		units, err := loader.LoadDir(filepath.Join(r.Root, filepath.FromSlash(dir)), dir)
+		dirUnits, err := loader.LoadDir(filepath.Join(r.Root, filepath.FromSlash(dir)), dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, u := range units {
+		for _, u := range dirUnits {
 			if r.Stderr != nil {
 				for _, terr := range u.TypeErrors {
 					fmt.Fprintf(r.Stderr, "machlint: warning: %s: %v\n", dir, terr)
 				}
 			}
-			diags = append(diags, runUnit(u, r.Config, analyzers)...)
+			units = append(units, u)
 		}
 	}
+
+	facts := CollectFacts(units)
+	analyzers := Analyzers()
+	var diags []Diagnostic
+	merged := newSuppressionIndex()
+	for _, u := range units {
+		unitDiags, idx := runUnit(u, r.Config, analyzers, facts)
+		diags = append(diags, unitDiags...)
+		merged.merge(idx)
+	}
+
+	escapeRan, afDiags, err := r.allocFreePhase(loader.fset, facts, dirs, merged, writeAllocs)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, afDiags...)
+
+	diags = append(diags, merged.unusedDiags(func(s *suppression, check string) bool {
+		rule := r.Config.rule(check)
+		if !rule.appliesTo(s.path) || (rule.SkipTests && s.isTest) {
+			return false
+		}
+		if check == AllocFreeName {
+			return escapeRan
+		}
+		return true
+	})...)
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// allocFreePhase runs the escape-analysis check when it can produce
+// findings: the rule is enabled and the tree has //machlint:allocfree
+// annotations, a budget file, or an explicit regeneration request. The
+// gate keeps annotation-free invocations (fixture tests, subset runs) from
+// paying for a compile.
+func (r *Runner) allocFreePhase(fset *token.FileSet, facts *Facts, dirs []string, merged *suppressionIndex, writeAllocs bool) (bool, []Diagnostic, error) {
+	if !r.Config.rule(AllocFreeName).Enabled {
+		return false, nil, nil
+	}
+	hasAnnotations := false
+	for _, ff := range facts.All {
+		if ff.AllocFree {
+			hasAnnotations = true
+			break
+		}
+	}
+	display := r.AllocBudget
+	if display == "" {
+		display = DefaultAllocBudgetPath
+	}
+	budgetPath := display
+	if !filepath.IsAbs(budgetPath) {
+		budgetPath = filepath.Join(r.Root, budgetPath)
+	}
+	_, statErr := os.Stat(budgetPath)
+	if !hasAnnotations && statErr != nil && !writeAllocs {
+		return false, nil, nil
+	}
+	sites, err := runEscapeAnalysis(r.Root, dirs)
+	if err != nil {
+		return false, nil, err
+	}
+	counts, first := countEscapes(facts, sites)
+	if writeAllocs {
+		// Regeneration audits nothing, so allocfree suppressions must not
+		// be called stale on this pass: report escapeRan=false.
+		return false, nil, WriteAllocBudget(budgetPath, counts)
+	}
+	budget, err := ReadAllocBudget(budgetPath)
+	if err != nil {
+		return false, nil, err
+	}
+	var kept []Diagnostic
+	for _, d := range checkAllocBudget(fset, facts, counts, first, budget, display, dirs) {
+		if !merged.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	return true, kept, nil
 }
 
 // Main is the machlint CLI: it parses flags and patterns out of args,
@@ -251,11 +349,15 @@ func Main(root string, args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("machlint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	checks := flags.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	ledger := flags.Bool("ledger", false, "print the //machlint:allow suppression ledger to stdout and exit (redirect to "+DefaultLedgerPath+")")
+	writeAllocs := flags.Bool("write-allocs", false, "regenerate the allocfree budget file ("+DefaultAllocBudgetPath+") from the current tree")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: machlint [-checks c1,c2] [packages]\n\nchecks:\n")
+		fmt.Fprintf(stderr, "usage: machlint [-checks c1,c2] [-ledger | -write-allocs] [packages]\n\nchecks:\n")
 		for _, a := range Analyzers() {
 			fmt.Fprintf(stderr, "  %-11s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(stderr, "  %-11s %s\n", AllocFreeName, AllocFreeDoc)
+		fmt.Fprintf(stderr, "\nfunction annotations: //machlint:noalias <p,q>..., //machlint:aliasok <why>, //machlint:allocfree\nsuppression: //machlint:allow <check>[,<check>...] <justification>\n\n")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -264,13 +366,10 @@ func Main(root string, args []string, stdout, stderr io.Writer) int {
 	cfg := DefaultConfig()
 	if *checks != "" {
 		names := strings.Split(*checks, ",")
-		known := map[string]bool{}
-		for _, a := range Analyzers() {
-			known[a.Name] = true
-		}
+		known := allChecksSet()
 		for _, n := range names {
 			if !known[strings.TrimSpace(n)] {
-				fmt.Fprintf(stderr, "machlint: unknown check %q\n", strings.TrimSpace(n))
+				fmt.Fprintf(stderr, "machlint: unknown check %q (known: %s)\n", strings.TrimSpace(n), strings.Join(AllChecks(), ", "))
 				return 2
 			}
 		}
@@ -280,11 +379,29 @@ func Main(root string, args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if *ledger {
+		text, err := BuildLedger(root, patterns)
+		if err != nil {
+			fmt.Fprintf(stderr, "machlint: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, text)
+		return 0
+	}
 	r := &Runner{Root: root, Config: cfg, Stderr: stderr}
-	diags, err := r.Run(patterns)
+	var diags []Diagnostic
+	var err error
+	if *writeAllocs {
+		diags, err = r.WriteAllocs(patterns)
+	} else {
+		diags, err = r.Run(patterns)
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "machlint: %v\n", err)
 		return 2
+	}
+	if *writeAllocs {
+		fmt.Fprintf(stderr, "machlint: wrote %s\n", DefaultAllocBudgetPath)
 	}
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d.String())

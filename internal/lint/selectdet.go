@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SelectDet flags the two channel patterns whose observable behavior
+// depends on the goroutine scheduler, which the simulation core must never
+// let leak into results (DESIGN.md §5: parallel phases emit in serial
+// order):
+//
+//  1. A select with two or more communication cases: when several cases
+//     are ready, Go picks one pseudorandomly, so any state change in a
+//     case body is scheduler-dependent.
+//  2. Unordered channel fan-in: a channel sent to by goroutines spawned in
+//     a loop, or by more than one spawned goroutine, delivers values in
+//     arrival order. The sanctioned shape is an indexed result slice
+//     (each goroutine writes its own slot) reduced serially — exactly how
+//     the decide/finalize phases and the fed estimate fan-out work.
+var SelectDet = &Analyzer{
+	Name: "selectdet",
+	Doc:  "scheduler-ordered select or unordered channel fan-in in the simulation core",
+	Run:  runSelectDet,
+}
+
+func runSelectDet(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				comm := 0
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					p.Reportf(n.Select, "select with %d communication cases resolves ready races pseudorandomly; restructure around a single deterministic source or justify with //machlint:allow selectdet", comm)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					p.checkChannelFanIn(n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// chanSend records one send statement inside a spawned goroutine.
+type chanSend struct {
+	pos     token.Pos
+	inLoop  bool
+	loop    ast.Node // innermost loop enclosing the spawn, when inLoop
+	spawn   ast.Node // the go statement / spawner call
+	chanObj types.Object
+}
+
+// checkChannelFanIn finds channels that receive sends from goroutines
+// spawned in a loop or from multiple distinct spawned goroutines.
+func (p *Pass) checkChannelFanIn(body *ast.BlockStmt) {
+	var (
+		stack     []ast.Node
+		loopStack []ast.Node
+		sends     []chanSend
+	)
+	collectSends := func(lit *ast.FuncLit, spawn ast.Node) {
+		var loop ast.Node
+		if len(loopStack) > 0 {
+			loop = loopStack[len(loopStack)-1]
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			obj, _, ok := aliasChain(p, send.Chan)
+			if !ok {
+				return true
+			}
+			sends = append(sends, chanSend{
+				pos:     send.Arrow,
+				inLoop:  loop != nil,
+				loop:    loop,
+				spawn:   spawn,
+				chanObj: obj,
+			})
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch top.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopStack = loopStack[:len(loopStack)-1]
+			}
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopStack = append(loopStack, n)
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				collectSends(lit, n)
+			}
+		case *ast.CallExpr:
+			if spawnerKind(p, n) != spawnNone {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						collectSends(lit, n)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	firstSpawn := map[types.Object]ast.Node{}
+	for _, s := range sends {
+		// A goroutine spawned in a loop sending on a channel declared
+		// outside that loop fans many producers into one consumer.
+		if s.inLoop && !within(s.chanObj.Pos(), s.loop) {
+			p.Reportf(s.pos, "channel %s collects sends from goroutines spawned in a loop; arrival order is scheduler-dependent — write into an indexed slice and reduce in order, or justify with //machlint:allow selectdet", s.chanObj.Name())
+			continue
+		}
+		if prev, ok := firstSpawn[s.chanObj]; ok && prev != s.spawn {
+			p.Reportf(s.pos, "channel %s is sent to from more than one spawned goroutine; arrival order is scheduler-dependent — write into an indexed slice and reduce in order, or justify with //machlint:allow selectdet", s.chanObj.Name())
+			continue
+		}
+		firstSpawn[s.chanObj] = s.spawn
+	}
+}
+
+// within reports whether pos falls inside node's source extent.
+func within(pos token.Pos, node ast.Node) bool {
+	return node != nil && pos >= node.Pos() && pos <= node.End()
+}

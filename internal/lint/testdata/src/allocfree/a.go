@@ -1,0 +1,34 @@
+// Package allocfixture exercises the allocfree escape-analysis check. It
+// must compile (not just type-check): the driver runs the real compiler
+// over it with -gcflags=-m.
+package allocfixture
+
+var sink []float64
+
+// SumInPlace is a steady-state hot path: no heap allocations.
+//
+//machlint:allocfree
+func SumInPlace(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// LeakyAppend allocates on every call: the buffer escapes into the global
+// sink. Its budget entry commits to exactly one allocation site.
+//
+//machlint:allocfree
+func LeakyAppend(n int) {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	sink = buf
+}
+
+// Unannotated allocates freely; without the directive the check ignores it.
+func Unannotated(n int) []float64 {
+	return make([]float64, n)
+}

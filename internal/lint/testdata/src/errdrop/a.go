@@ -39,6 +39,6 @@ func waived() {
 }
 
 func unjustified() {
-	//machlint:allow errdrop
+	/* want "no justification" */ //machlint:allow errdrop
 	_ = mayFail() // want "discarded into _"
 }

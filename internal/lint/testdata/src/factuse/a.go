@@ -1,0 +1,12 @@
+// Package factuse calls an annotated function from another package. It
+// exists to prove cross-unit fact propagation: the //machlint:noalias
+// contract on tensor.MatMulInto is declared in internal/tensor, and the
+// violation below can only be found if the driver carried that fact across
+// package boundaries.
+package factuse
+
+import "github.com/mach-fl/mach/internal/tensor"
+
+func inPlaceProduct(x, y *tensor.Tensor) {
+	tensor.MatMulInto(x, x, y) // dst aliases a: forbidden by the callee's contract
+}

@@ -29,7 +29,7 @@ func compare(a float64, b float32, eps float64) bool {
 }
 
 func unjustified(a float64) bool {
-	//machlint:allow floateq
+	/* want "no justification" */ //machlint:allow floateq
 	return a == 1 // want "exact floating-point =="
 }
 

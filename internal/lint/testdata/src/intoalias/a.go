@@ -1,0 +1,67 @@
+// Package intoalias exercises the intoalias analyzer: mandatory contracts
+// on *Into buffer functions, annotation validity, and call-site may-alias
+// checking.
+package intoalias
+
+type state struct {
+	buf []float64
+	alt []float64
+}
+
+// AddInto writes a[i]+b[i] into dst[i]; dst must not overlap either input.
+//
+//machlint:noalias dst,a dst,b
+func AddInto(dst, a, b []float64) {
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// ScaleInto tolerates aliasing by construction.
+//
+//machlint:aliasok element i is fully read before element i is written; no cross-element reads
+func ScaleInto(dst, src []float64, k float64) {
+	for i := range src {
+		dst[i] = src[i] * k
+	}
+}
+
+func missingContractInto(dst, src []float64) { // want "declares no aliasing contract"
+	for i := range src {
+		dst[i] = src[i]
+	}
+}
+
+//machlint:noalias dst,nosuch
+func badParamInto(dst, src []float64) { // want "unknown parameter"
+	copy(dst, src)
+}
+
+//machlint:aliasok
+func bareAliasOKInto(dst, src []float64) { // want "needs a justification"
+	copy(dst, src)
+}
+
+//machlint:noalias dst,src
+//machlint:aliasok reads everything before writing anything
+func conflictedInto(dst, src []float64) { // want "declares both"
+	copy(dst, src)
+}
+
+//machlint:noalias dst
+func shortGroupInto(dst, src []float64) { // want "at least two parameter names"
+	copy(dst, src)
+}
+
+func callSites(s *state) {
+	a := make([]float64, 8)
+	b := make([]float64, 8)
+	AddInto(a, b, b)             // clean: the a,b inputs may alias each other (A·A style)
+	AddInto(a, a, b)             // want "may alias"
+	AddInto(s.buf, s.alt, s.buf) // want "may alias"
+	AddInto(a[2:], b, a)         // want "may alias"
+	AddInto(s.alt, s.buf, s.buf) // clean: dst is distinct storage
+	ScaleInto(a, a, 2)           // clean: aliasok tolerates in-place use
+	//machlint:allow intoalias fixture pins that a justified waiver silences the finding
+	AddInto(b, b, a)
+}

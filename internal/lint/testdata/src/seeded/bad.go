@@ -29,3 +29,15 @@ func violations(m map[string]float64, g guarded) float64 { // mutexcopy
 	total += float64(time.Now().Nanosecond()) // walltime
 	return total + float64(g.n)
 }
+
+func moreViolations() int {
+	r := rand.New(rand.NewSource(42)) // randshare: constant seed
+	out := make(chan int)
+	go func() { out <- r.Intn(10) }()
+	go func() { out <- r.Intn(10) }() // randshare: shared stream; selectdet: two producers
+	return <-out + <-out
+}
+
+func copyInto(dst, src []float64) { // intoalias: no aliasing contract
+	copy(dst, src)
+}

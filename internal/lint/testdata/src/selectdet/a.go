@@ -1,0 +1,78 @@
+// Package selectdet exercises the selectdet analyzer: multi-case selects
+// and unordered channel fan-in.
+package selectdet
+
+func twoCase(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func defaultClean(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func fanInLoop(n int) int {
+	out := make(chan int)
+	for i := 0; i < n; i++ {
+		go func() {
+			out <- i // want "spawned in a loop"
+		}()
+	}
+	total := 0
+	for j := 0; j < n; j++ {
+		total += <-out
+	}
+	return total
+}
+
+func twoProducers() int {
+	out := make(chan int)
+	go func() { out <- 1 }()
+	go func() { out <- 2 }() // want "more than one spawned goroutine"
+	return <-out + <-out
+}
+
+// singleProducerClean has one goroutine feeding one consumer: delivery
+// order is the send order, not a scheduler race.
+func singleProducerClean(n int) int {
+	out := make(chan int)
+	go func() {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += i
+		}
+		out <- sum
+	}()
+	return <-out
+}
+
+// perIterationClean re-makes the channel each iteration, so each spawn has
+// exactly one producer and one consumer.
+func perIterationClean(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		done := make(chan int)
+		go func() { done <- i }()
+		total += <-done
+	}
+	return total
+}
+
+func suppressed(a, b chan int) int {
+	//machlint:allow selectdet fixture pins that a justified waiver silences the finding
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,8 @@
+// Package stalesup carries a justified suppression that waives nothing.
+// The runner's staleness audit must flag it.
+package stalesup
+
+func id(x int) int {
+	//machlint:allow floateq fixture: deliberately unused waiver
+	return x
+}

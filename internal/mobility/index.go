@@ -65,6 +65,8 @@ func (ix *MemberIndex) Count(n int) int { return len(ix.members[n]) }
 // Advance positions the index at step t. Advancing to the current step is a
 // no-op; advancing by exactly one step takes the incremental delta path when
 // few devices moved; any other jump rebuilds by counting sort.
+//
+//machlint:allocfree
 func (ix *MemberIndex) Advance(t int) {
 	switch {
 	case t == ix.step:

@@ -596,6 +596,10 @@ func (l *Lane32) backwardBN(op *lane32Op, s, batch int, gout, gin []float32) {
 // lossInto is the float32-lane softmax cross-entropy: float32 logits in,
 // float32 gradient out, with the exp/log/sum arithmetic in float64 like
 // SoftmaxCrossEntropyInto.
+//
+//machlint:noalias logits,grad
+//
+//machlint:allocfree
 func (l *Lane32) lossInto(logits []float32, labels []int, grad []float32, batch int) float64 {
 	classes := l.classes
 	if len(labels) != batch {

@@ -24,6 +24,10 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 // caller-owned [B, classes] tensor (fully overwritten), so the training hot
 // path can reuse one gradient buffer across steps. The arithmetic is
 // identical to the allocating form.
+//
+//machlint:noalias logits,grad
+//
+//machlint:allocfree
 func SoftmaxCrossEntropyInto(logits *tensor.Tensor, labels []int, grad *tensor.Tensor) (loss float64) {
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects [B, classes], got %v", logits.Shape()))

@@ -126,6 +126,8 @@ func (s *MACH) Probabilities(ctx *EdgeContext) []float64 {
 // ProbabilitiesInto implements InPlaceStrategy: the same Algorithm 3
 // pipeline with the UCB estimates batched into ctx.Scratch (one book lock
 // per edge instead of one per member) and every result written into dst.
+//
+//machlint:allocfree
 func (s *MACH) ProbabilitiesInto(ctx *EdgeContext, dst []float64) []float64 {
 	estimates := ensureLen(ctx.Scratch, len(ctx.Members))
 	ctx.Scratch = estimates
@@ -150,6 +152,10 @@ func EdgeSampling(cfg MACHConfig, capacity float64, estimates []float64) []float
 // only when its capacity is insufficient. dst may alias estimates: the
 // estimate total is accumulated before any write and each score depends only
 // on its own estimate.
+//
+//machlint:aliasok the estimate total is accumulated before any write and dst[i] depends only on estimates[i]
+//
+//machlint:allocfree
 func EdgeSamplingInto(cfg MACHConfig, capacity float64, estimates, dst []float64) []float64 {
 	total := 0.0
 	for _, g := range estimates {

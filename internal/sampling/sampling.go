@@ -138,6 +138,10 @@ func capProbabilities(scores []float64, capacity, floor float64) []float64 {
 // capProbabilitiesInto is capProbabilities into a caller-owned buffer. dst
 // may alias scores: the total is accumulated before any write, and out[i]
 // depends only on scores[i] and the total.
+//
+//machlint:aliasok the score total is accumulated before any write and dst[i] depends only on scores[i]
+//
+//machlint:allocfree
 func capProbabilitiesInto(dst, scores []float64, capacity, floor float64) []float64 {
 	n := len(scores)
 	dst = ensureLen(dst, n)

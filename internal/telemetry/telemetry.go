@@ -216,6 +216,8 @@ func (t *Telemetry) Trace() *Trace {
 // 0 without touching any clock, so the disabled hot path stays
 // syscall-free; callers pair Now with ObserveSince and both degrade to
 // no-ops together.
+//
+//machlint:allocfree
 func (t *Telemetry) Now() int64 {
 	if t == nil {
 		return 0
@@ -224,6 +226,8 @@ func (t *Telemetry) Now() int64 {
 }
 
 // Add increments a counter by delta.
+//
+//machlint:allocfree
 func (t *Telemetry) Add(c Counter, delta int64) {
 	if t == nil {
 		return
@@ -240,6 +244,8 @@ func (t *Telemetry) Count(c Counter) int64 {
 }
 
 // SetGauge records a gauge's latest value.
+//
+//machlint:allocfree
 func (t *Telemetry) SetGauge(g Gauge, v float64) {
 	if t == nil {
 		return
@@ -256,6 +262,8 @@ func (t *Telemetry) GaugeValue(g Gauge) float64 {
 }
 
 // Observe records one histogram observation.
+//
+//machlint:allocfree
 func (t *Telemetry) Observe(h Hist, v int64) {
 	if t == nil {
 		return
@@ -266,6 +274,8 @@ func (t *Telemetry) Observe(h Hist, v int64) {
 // ObserveSince records the nanoseconds elapsed since start (a value from
 // Now) into a duration histogram. On a nil receiver both Now and
 // ObserveSince are no-ops, so instrumented code needs no enabled check.
+//
+//machlint:allocfree
 func (t *Telemetry) ObserveSince(h Hist, start int64) {
 	if t == nil {
 		return

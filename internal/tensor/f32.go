@@ -41,6 +41,8 @@ func check32(name string, a []float32, n int) {
 // each pass over a dst row folds in four b rows, quartering the dst
 // load/store traffic of the per-p reference form. Lane-32 products are
 // per-device-layer sized (they fit in L1), so no cache blocking is needed.
+//
+//machlint:noalias dst,a dst,b
 func MatMul32Into(dst, a, b []float32, m, k, n int) {
 	check32("MatMul32Into dst", dst, m*n)
 	check32("MatMul32Into a", a, m*k)
@@ -82,6 +84,8 @@ func MatMul32Into(dst, a, b []float32, m, k, n int) {
 // separate scratch-then-add of the f64 layers disappears. The reduction
 // dimension is unrolled four ways so each pass over a dst row folds in four
 // a/b rows at once instead of reloading the row per p.
+//
+//machlint:noalias dst,a dst,b
 func MatMulTransA32Acc(dst, a, b []float32, k, m, n int) {
 	check32("MatMulTransA32Acc dst", dst, m*n)
 	check32("MatMulTransA32Acc a", a, k*m)
@@ -127,6 +131,8 @@ func MatMulTransA32Acc(dst, a, b []float32, k, m, n int) {
 // eight independent chains in the 4×2 body; leftover columns fall back to a
 // four-way single-dot split. Both splits have fixed shapes, so results are
 // deterministic (independent of anything but the operands).
+//
+//machlint:noalias dst,a dst,b
 func MatMulTransB32Into(dst, a, b []float32, m, k, n int) {
 	check32("MatMulTransB32Into dst", dst, m*n)
 	check32("MatMulTransB32Into a", a, m*k)
@@ -186,6 +192,8 @@ func MatMulTransB32Into(dst, a, b []float32, m, k, n int) {
 // Im2Col32Into lowers one image x ([InC, InH, InW], flat) into dst
 // ([InC·K·K, OutH·OutW], flat), zeroing padding positions — the float32 twin
 // of Im2ColInto.
+//
+//machlint:noalias dst,x
 func Im2Col32Into(dst, x []float32, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	rows := g.InC * g.K * g.K
@@ -223,6 +231,8 @@ func Im2Col32Into(dst, x []float32, g ConvGeom) {
 // Col2Im32Into scatters a [InC·K·K, OutH·OutW] column-gradient matrix back
 // into an image gradient ([InC, InH, InW], flat), accumulating overlapping
 // patches — the float32 twin of Col2ImInto. img is zeroed first.
+//
+//machlint:noalias img,cols
 func Col2Im32Into(img, cols []float32, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	rows := g.InC * g.K * g.K

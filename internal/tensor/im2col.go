@@ -43,6 +43,8 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 // Im2ColInto lowers x into dst, reusing dst's storage. dst must have shape
 // [InC*K*K, OutH*OutW]; it is fully overwritten (padding positions with
 // zeros), so a dirty scratch tensor may be passed.
+//
+//machlint:noalias dst,x
 func Im2ColInto(dst, x *Tensor, g ConvGeom) {
 	if x.Rank() != 3 || x.shape[0] != g.InC || x.shape[1] != g.InH || x.shape[2] != g.InW {
 		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", x.shape, g))
@@ -92,6 +94,8 @@ func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
 // Col2ImInto scatters cols into img, reusing img's storage. img must have
 // shape [InC, InH, InW]; it is zeroed before accumulation, so a dirty
 // scratch tensor may be passed.
+//
+//machlint:noalias img,cols
 func Col2ImInto(img, cols *Tensor, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	rows := g.InC * g.K * g.K

@@ -48,6 +48,8 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = a·b, reusing dst's storage. dst must be m×n.
+//
+//machlint:noalias dst,a dst,b
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
@@ -113,6 +115,8 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 
 // MatMulTransAInto computes dst = aᵀ·b, reusing dst's storage. dst must be
 // m×n for a (k×m) and b (k×n).
+//
+//machlint:noalias dst,a dst,b
 func MatMulTransAInto(dst, a, b *Tensor) {
 	k, m, n := transAShape(a, b)
 	if dst.shape[0] != m || dst.shape[1] != n {
@@ -137,6 +141,8 @@ func transAShape(a, b *Tensor) (k, m, n int) {
 // reference kernel. Row-parallelism would split the p loop, which *is* the
 // accumulation order, so the transposed-A form stays serial; it is only used
 // on small backward-pass weight gradients.
+//
+//machlint:noalias dst,a dst,b
 func matMulTransAInto(dst, a, b []float64, k, m, n int) {
 	for p := 0; p < k; p++ {
 		arow := a[p*m : (p+1)*m]
@@ -166,6 +172,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 
 // MatMulTransBInto computes dst = a·bᵀ, reusing dst's storage. dst must be
 // m×n for a (m×k) and b (n×k).
+//
+//machlint:noalias dst,a dst,b
 func MatMulTransBInto(dst, a, b *Tensor) {
 	m, k, n := transBShape(a, b)
 	if dst.shape[0] != m || dst.shape[1] != n {

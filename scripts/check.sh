@@ -14,7 +14,14 @@ echo "== go build ./..."
 go build ./...
 
 echo "== machlint ./... (DESIGN.md §5.5 invariants)"
+lint_t0=$(date +%s)
 go run ./cmd/machlint ./...
+lint_t1=$(date +%s)
+echo "   lint wall time: $((lint_t1 - lint_t0))s"
+
+echo "== machlint -ledger (committed suppression inventory is current)"
+go run ./cmd/machlint -ledger ./... | diff - lint_ledger.txt \
+	|| { echo "check: lint_ledger.txt is stale; regenerate with make lint-ledger" >&2; exit 1; }
 
 echo "== go test ./..."
 go test ./...
