@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/mach-fl/mach/internal/bench"
@@ -79,7 +81,8 @@ func run() error {
 		exp   = flag.String("exp", "fig3", "experiment: fig3 | fig4 | fig5 | table1 | ablations | engine | comm | scale | telemetry | all")
 		task  = flag.String("task", "", "task: mnist | fmnist | cifar10 (default: all tasks)")
 		scale = flag.String("scale", "ci", "scale: ci | full")
-		quick = flag.Bool("quick", false, "use the seconds-scale smoke preset (scale/telemetry experiments only)")
+		quick  = flag.Bool("quick", false, "use the seconds-scale smoke preset (scale/telemetry experiments only)")
+		shards = flag.String("shards", "", "comma-separated shard counts for the scale experiment's sharded rows (empty = preset sweep)")
 
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -165,7 +168,7 @@ func run() error {
 	if *exp == "scale" {
 		// The control-plane scale benchmark builds synthetic populations;
 		// task/scale flags don't apply.
-		return runScale(*outDir, *quick, profiles)
+		return runScale(*outDir, *quick, *shards, profiles)
 	}
 	if *exp == "engine" {
 		// The engine micro-benchmark runs a frozen configuration so its
@@ -419,14 +422,22 @@ func runEngine(outDir string, profiles *bench.ProfileMeta) error {
 }
 
 // runScale measures the sampling control plane at synthetic populations up
-// to 100k devices × 1k edges (naive vs indexed per cell) and writes
-// BENCH_scale.json next to the binary or into -out. -quick swaps in the
-// seconds-scale smoke preset.
-func runScale(outDir string, quick bool, profiles *bench.ProfileMeta) error {
+// to 1M devices × 10k edges (naive, indexed and sharded rows per cell) and
+// writes BENCH_scale.json next to the binary or into -out. -quick swaps in
+// the seconds-scale smoke preset; -shards overrides the preset's shard-count
+// sweep.
+func runScale(outDir string, quick bool, shards string, profiles *bench.ProfileMeta) error {
 	start := telemetry.WallNow()
 	preset := bench.ScaleBenchPreset()
 	if quick {
 		preset = bench.ScaleBenchQuickPreset()
+	}
+	if shards != "" {
+		sweep, err := parseShardSweep(shards)
+		if err != nil {
+			return err
+		}
+		preset.Shards = sweep
 	}
 	r, err := bench.RunScaleBench(preset)
 	if err != nil {
@@ -456,6 +467,20 @@ func runScale(outDir string, quick bool, profiles *bench.ProfileMeta) error {
 	}
 	fmt.Printf("\n[scale bench done in %v — wrote %s]\n\n", telemetry.WallSince(start).Round(time.Millisecond), path)
 	return nil
+}
+
+// parseShardSweep parses the -shards flag: comma-separated positive shard
+// counts, e.g. "1,4,16".
+func parseShardSweep(s string) ([]int, error) {
+	var sweep []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers, e.g. 1,4,16)", part)
+		}
+		sweep = append(sweep, n)
+	}
+	return sweep, nil
 }
 
 // runComm measures the distributed stack's wire traffic per codec scheme

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sync"
 
 	"github.com/mach-fl/mach/internal/mobility"
 	"github.com/mach-fl/mach/internal/parallel"
@@ -17,6 +18,11 @@ import (
 type ScaleCell struct {
 	Devices int `json:"devices"`
 	Edges   int `json:"edges"`
+	// SkipNaive omits the cell's naive baseline row. The naive control
+	// plane rescans every device per edge — O(Edges·Devices) per step —
+	// which at the million-device cell would be ~10^10 membership probes
+	// per step; the indexed and sharded rows still cross-check each other.
+	SkipNaive bool `json:"skip_naive,omitempty"`
 }
 
 // ScaleConfig parameterizes `machbench -exp scale`: a sampling-only workload
@@ -48,6 +54,13 @@ type ScaleConfig struct {
 	// engine was.
 	Workers int   `json:"workers"`
 	Seed    int64 `json:"seed"`
+	// Shards, when non-empty, adds one sharded-control-plane row per entry
+	// and cell: the edge range splits into that many shard goroutines, each
+	// owning a range-scoped member index and deciding its edges serially
+	// with per-shard buffered observations, merged at a step barrier in
+	// shard order (the in-process actor plane of DESIGN.md §11). Sampled
+	// counts must match the indexed mode exactly; the harness enforces it.
+	Shards []int `json:"shards,omitempty"`
 }
 
 // ScaleBenchPreset is the recorded sweep of BENCH_scale.json: device
@@ -64,6 +77,7 @@ func ScaleBenchPreset() ScaleConfig {
 			{Devices: 10_000, Edges: 1_000},
 			{Devices: 100_000, Edges: 1_000},
 			{Devices: 100_000, Edges: 3_000},
+			{Devices: 1_000_000, Edges: 10_000, SkipNaive: true},
 		},
 		Steps:         30,
 		WarmupSteps:   5,
@@ -71,6 +85,7 @@ func ScaleBenchPreset() ScaleConfig {
 		StayProb:      0.9,
 		Participation: 0.1,
 		Seed:          1,
+		Shards:        []int{1, 4, 16},
 	}
 }
 
@@ -80,6 +95,7 @@ func ScaleBenchQuickPreset() ScaleConfig {
 	cfg.Cells = []ScaleCell{{Devices: 500, Edges: 5}, {Devices: 2_000, Edges: 20}}
 	cfg.Steps = 10
 	cfg.WarmupSteps = 2
+	cfg.Shards = []int{1, 2}
 	return cfg
 }
 
@@ -104,6 +120,11 @@ func (c ScaleConfig) Validate() error {
 			return fmt.Errorf("bench: scale cell %d devices × %d edges invalid", cell.Devices, cell.Edges)
 		}
 	}
+	for _, s := range c.Shards {
+		if s <= 0 {
+			return fmt.Errorf("bench: scale shard count %d must be positive", s)
+		}
+	}
 	return nil
 }
 
@@ -118,9 +139,13 @@ func (c ScaleConfig) workers() int {
 type ScaleBenchRow struct {
 	Devices int `json:"devices"`
 	Edges   int `json:"edges"`
-	// Mode is "naive" (pre-index serial control plane) or "indexed"
-	// (membership index + pooled in-place sampling + parallel decide).
-	Mode          string  `json:"mode"`
+	// Mode is "naive" (pre-index serial control plane), "indexed"
+	// (membership index + pooled in-place sampling + parallel decide) or
+	// "sharded" (shard actors over range-scoped indexes with batched
+	// observation merge).
+	Mode string `json:"mode"`
+	// Shards is the shard count of a "sharded" row (0 otherwise).
+	Shards        int     `json:"shards,omitempty"`
 	StepsMeasured int     `json:"steps_measured"`
 	WallNs        int64   `json:"wall_ns"`
 	StepsPerSec   float64 `json:"steps_per_sec"`
@@ -214,6 +239,22 @@ type scaleEngine struct {
 	strat    *sampling.MACH
 	capacity float64
 	decide   []scaleDecideState
+	shards   []*scaleShard // sharded mode only
+}
+
+// scaleShard is one control-plane shard of the sharded mode: a contiguous
+// edge range with its range-scoped member index and the step's buffered
+// observations, merged at the barrier in shard (= edge) order. It mirrors
+// hfl's shardState at bench scale.
+type scaleShard struct {
+	lo, hi  int
+	index   *mobility.MemberIndex
+	sampled int64
+
+	obsEdges  []int
+	obsDevs   []int
+	normStore []float64   // flat backing for obsNorms, one norm per record
+	obsNorms  [][]float64 // subslices of normStore, built after all appends
 }
 
 func newScaleEngine(cfg ScaleConfig, cell ScaleCell, steps int) (*scaleEngine, error) {
@@ -257,6 +298,85 @@ func newScaleEngine(cfg ScaleConfig, cell ScaleCell, steps int) (*scaleEngine, e
 		st.ctx.Scratch = make([]float64, 0, capHint)
 	}
 	return eng, nil
+}
+
+// buildShards splits the engine's edges into `shards` contiguous ranges,
+// each with its own range-scoped member index. Called once per sharded
+// measurement; the monolithic index stays unused in that mode.
+func (e *scaleEngine) buildShards(shards int) {
+	edges := e.sched.Edges
+	if shards > edges {
+		shards = edges
+	}
+	e.shards = make([]*scaleShard, shards)
+	for s := range e.shards {
+		lo, hi := edges*s/shards, edges*(s+1)/shards
+		e.shards[s] = &scaleShard{
+			lo:    lo,
+			hi:    hi,
+			index: mobility.NewMemberIndexRange(e.sched, lo, hi),
+		}
+	}
+}
+
+// stepSharded runs one step of the sharded control plane: every shard
+// advances its range index and decides its edges serially on its own
+// goroutine, buffering (edge, device, norm) observations; at the barrier
+// the shards' buffers merge into the experience book in shard order via the
+// batched observer path (one book lock per shard). The coin streams are
+// identical to the other modes, and a device is a member of exactly one
+// edge per step, so deferring its observation to the barrier cannot change
+// any same-step decision — sampled counts match the indexed mode exactly.
+func (e *scaleEngine) stepSharded(t int) int64 {
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	for _, sh := range e.shards {
+		go func() {
+			defer wg.Done()
+			sh.sampled = 0
+			sh.obsEdges = sh.obsEdges[:0]
+			sh.obsDevs = sh.obsDevs[:0]
+			sh.normStore = sh.normStore[:0]
+			sh.index.Advance(t)
+			for n := sh.lo; n < sh.hi; n++ {
+				st := &e.decide[n]
+				members := sh.index.Members(n)
+				if len(members) == 0 {
+					continue
+				}
+				st.ctx.Edge = n
+				st.ctx.Capacity = e.capacity
+				st.coin = coinRNG(scaleMix(e.cfg.Seed, int64(t)+1, int64(n)+101))
+				st.ctx.Step = t
+				st.ctx.Members = members
+				st.probs = e.strat.ProbabilitiesInto(&st.ctx, st.probs)
+				for i, m := range members {
+					if st.coin.Float64() >= st.probs[i] {
+						continue
+					}
+					sh.sampled++
+					sh.obsEdges = append(sh.obsEdges, n)
+					sh.obsDevs = append(sh.obsDevs, m)
+					sh.normStore = append(sh.normStore, synthNorm(e.cfg.Seed, t, m))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, sh := range e.shards {
+		total += sh.sampled
+		if len(sh.obsDevs) == 0 {
+			continue
+		}
+		sh.obsNorms = sh.obsNorms[:0]
+		for i := range sh.normStore {
+			sh.obsNorms = append(sh.obsNorms, sh.normStore[i:i+1])
+		}
+		e.strat.ObserveBatch(t, sh.obsEdges, sh.obsDevs, sh.obsNorms)
+	}
+	e.cloudRound(t)
+	return total
 }
 
 // stepIndexed runs one step of the optimized control plane: one index
@@ -335,23 +455,26 @@ func (e *scaleEngine) cloudRound(t int) {
 
 // measureScaleCell runs one (cell, mode) measurement: warm-up steps grow
 // every pooled buffer, then the measured window is timed between two
-// MemStats snapshots.
-func measureScaleCell(cfg ScaleConfig, cell ScaleCell, indexed bool) (ScaleBenchRow, int64, error) {
+// MemStats snapshots. shards is consulted only by the "sharded" mode.
+func measureScaleCell(cfg ScaleConfig, cell ScaleCell, mode string, shards int) (ScaleBenchRow, int64, error) {
 	totalSteps := cfg.WarmupSteps + cfg.Steps
 	eng, err := newScaleEngine(cfg, cell, totalSteps)
 	if err != nil {
 		return ScaleBenchRow{}, 0, err
 	}
-	mode := "naive"
-	if indexed {
-		mode = "indexed"
+	if mode == "sharded" {
+		eng.buildShards(shards)
 	}
 	workers := cfg.workers()
 	step := func(t int) int64 {
-		if indexed {
+		switch mode {
+		case "naive":
+			return eng.stepNaive(t)
+		case "sharded":
+			return eng.stepSharded(t)
+		default:
 			return eng.stepIndexed(t, workers)
 		}
-		return eng.stepNaive(t)
 	}
 	for t := 0; t < cfg.WarmupSteps; t++ {
 		step(t)
@@ -370,6 +493,7 @@ func measureScaleCell(cfg ScaleConfig, cell ScaleCell, indexed bool) (ScaleBench
 		Devices:             cell.Devices,
 		Edges:               cell.Edges,
 		Mode:                mode,
+		Shards:              len(eng.shards),
 		StepsMeasured:       cfg.Steps,
 		WallNs:              wall.Nanoseconds(),
 		StepsPerSec:         float64(cfg.Steps) / wall.Seconds(),
@@ -381,10 +505,12 @@ func measureScaleCell(cfg ScaleConfig, cell ScaleCell, indexed bool) (ScaleBench
 	return row, sampled, nil
 }
 
-// RunScaleBench measures every cell in both modes. Beyond timing, it is an
-// end-to-end determinism check: the naive and indexed modes must sample
-// exactly the same number of devices in the measured window, since they
-// replay the same per-edge coin streams over the same schedule.
+// RunScaleBench measures every cell in every mode: naive (unless the cell
+// skips it), indexed, and one sharded row per configured shard count.
+// Beyond timing, it is an end-to-end determinism check: all modes of a cell
+// must sample exactly the same number of devices in the measured window,
+// since they replay the same per-edge coin streams over the same schedule
+// and observation deferral cannot reach a same-step decision.
 func RunScaleBench(cfg ScaleConfig) (*ScaleBenchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -397,23 +523,56 @@ func RunScaleBench(cfg ScaleConfig) (*ScaleBenchResult, error) {
 		Config:     cfg,
 	}
 	for _, cell := range cfg.Cells {
-		naive, naiveSampled, err := measureScaleCell(cfg, cell, false)
-		if err != nil {
-			return nil, fmt.Errorf("bench: scale %d×%d naive: %w", cell.Devices, cell.Edges, err)
+		refSampled, haveRef := int64(0), false
+		check := func(mode string, sampled int64) error {
+			if !haveRef {
+				refSampled, haveRef = sampled, true
+				return nil
+			}
+			if sampled != refSampled {
+				return fmt.Errorf("bench: scale %d×%d: %s sampled %d devices, want %d — control planes diverged",
+					cell.Devices, cell.Edges, mode, sampled, refSampled)
+			}
+			return nil
 		}
-		naive.SpeedupVsNaive = 1
-		indexed, indexedSampled, err := measureScaleCell(cfg, cell, true)
+		naiveNs := 0.0
+		if !cell.SkipNaive {
+			naive, sampled, err := measureScaleCell(cfg, cell, "naive", 0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scale %d×%d naive: %w", cell.Devices, cell.Edges, err)
+			}
+			if err := check("naive", sampled); err != nil {
+				return nil, err
+			}
+			naive.SpeedupVsNaive = 1
+			naiveNs = naive.NsPerDeviceDecision
+			res.Rows = append(res.Rows, naive)
+		}
+		speedup := func(row *ScaleBenchRow) {
+			if naiveNs > 0 && row.NsPerDeviceDecision > 0 {
+				row.SpeedupVsNaive = naiveNs / row.NsPerDeviceDecision
+			}
+		}
+		indexed, sampled, err := measureScaleCell(cfg, cell, "indexed", 0)
 		if err != nil {
 			return nil, fmt.Errorf("bench: scale %d×%d indexed: %w", cell.Devices, cell.Edges, err)
 		}
-		if naiveSampled != indexedSampled {
-			return nil, fmt.Errorf("bench: scale %d×%d: naive sampled %d devices, indexed %d — control planes diverged",
-				cell.Devices, cell.Edges, naiveSampled, indexedSampled)
+		if err := check("indexed", sampled); err != nil {
+			return nil, err
 		}
-		if indexed.NsPerDeviceDecision > 0 {
-			indexed.SpeedupVsNaive = naive.NsPerDeviceDecision / indexed.NsPerDeviceDecision
+		speedup(&indexed)
+		res.Rows = append(res.Rows, indexed)
+		for _, shards := range cfg.Shards {
+			row, sampled, err := measureScaleCell(cfg, cell, "sharded", shards)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scale %d×%d sharded/%d: %w", cell.Devices, cell.Edges, shards, err)
+			}
+			if err := check(fmt.Sprintf("sharded/%d", shards), sampled); err != nil {
+				return nil, err
+			}
+			speedup(&row)
+			res.Rows = append(res.Rows, row)
 		}
-		res.Rows = append(res.Rows, naive, indexed)
 	}
 	return res, nil
 }
@@ -441,8 +600,12 @@ func RenderScaleBench(w io.Writer, r *ScaleBenchResult) error {
 		return err
 	}
 	for _, row := range r.Rows {
+		mode := row.Mode
+		if row.Shards > 0 {
+			mode = fmt.Sprintf("shard%d", row.Shards)
+		}
 		if _, err := fmt.Fprintf(w, "%9d %6d %8s %10.1f %12.1f %13.1f %14.0f %12.1f %8.1fx\n",
-			row.Devices, row.Edges, row.Mode, row.StepsPerSec, row.NsPerDeviceDecision,
+			row.Devices, row.Edges, mode, row.StepsPerSec, row.NsPerDeviceDecision,
 			row.AllocsPerStep, row.BytesPerStep, row.SampledPerStep, row.SpeedupVsNaive); err != nil {
 			return err
 		}

@@ -104,6 +104,16 @@ type Config struct {
 	// unchanged — fused results are bit-identical to unfused within the
 	// same lane. Default off.
 	FuseBatch bool
+	// Shards partitions the control plane into this many in-process shard
+	// actors (0 = 1), each owning a contiguous range of edges plus that
+	// range's member index, experience-observation buffering and
+	// aggregation scratch (DESIGN.md §11). Shards run decide → execute →
+	// finalize for their edges concurrently; results are bit-identical for
+	// every value, because the cloud reduce folds over a fixed edge
+	// grouping independent of the shard count and every cross-shard merge
+	// happens in edge order at a deterministic barrier. Values above the
+	// reduce-group count (min(edges, 64)) are clamped.
+	Shards int
 }
 
 // Lane selects the numeric compute lane for local training.
@@ -228,8 +238,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hfl: eval shards %d negative", c.EvalShards)
 	case c.Lane != LaneF64 && c.Lane != LaneF32:
 		return fmt.Errorf("hfl: unknown compute lane %d", int(c.Lane))
+	case c.Shards < 0:
+		return fmt.Errorf("hfl: shards %d negative", c.Shards)
 	}
 	return nil
+}
+
+// shardCount returns the effective control-plane shard count: Config.Shards
+// (0 = 1) clamped to the cloud-reduce group count, so every shard owns at
+// least one whole group (and therefore at least one edge) and shard ranges
+// stay group-aligned.
+func (c Config) shardCount(groups int) int {
+	s := c.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > groups {
+		s = groups
+	}
+	return s
 }
 
 // defaultEvalShards fixes how many shards full-test-set evaluation splits
@@ -323,24 +350,33 @@ type Engine struct {
 	probeMu  sync.Mutex // probeNet/probeOpt are shared across deciding edges
 	capacity float64    // K_n, identical across edges as in the paper
 
-	// memberIndex materializes M^t_n for every edge in one O(Devices+Edges)
-	// pass per step, replacing the per-edge MembersAt rescans of the decide
-	// and cloud-aggregation loops.
-	memberIndex *mobility.MemberIndex
+	// Sharded control plane (DESIGN.md §11): shards[s] owns a contiguous
+	// edge range with its slice of the member index; edgeShard maps each
+	// edge to its owner. The actor goroutines (alive while actorsUp, i.e.
+	// inside Run) synchronize with the engine exclusively through shardWG
+	// barriers; actorDone tracks goroutine lifetime. groups is the
+	// cloud-reduce group count cloudGroups(Edges) and groupCounts the
+	// per-group member-count sums of the current cloud round. batchObs is
+	// the strategy's batched observation path, when implemented.
+	shards      []*shardState
+	edgeShard   []int
+	shardWG     sync.WaitGroup
+	actorDone   sync.WaitGroup
+	actorsUp    bool
+	groups      int
+	groupCounts []int
+	batchObs    sampling.BatchObserver
 
 	// pool executes per-device local updates and evaluation shards while a
 	// Run is active; nil otherwise (standalone evaluation falls back to
 	// transient goroutines).
 	pool *parallel.Pool
 
-	// Steady-state scratch. plans and aggResults are touched only from the
-	// sequential finalize phase and from edgeDecide, which runs at most one
-	// goroutine per edge; decide[n] and decideErrs[n] are private to edge
-	// n's decide goroutine within a step.
+	// Steady-state scratch. plans[n] and decide[n] are private to edge n's
+	// owning shard while a step command is in flight and to the engine
+	// goroutine between commands.
 	plans       []edgePlan        // per-edge decision-phase output
 	decide      []edgeDecideState // per-edge pooled RNG + context + buffers
-	decideErrs  []error           // per-edge decide outcome, checked in edge order
-	aggResults  []localResult     // per-edge upload list, rebuilt in member order
 	aggNext     [][]float64       // per-edge aggregation double-buffer
 	cloudNext   []float64         // cloud aggregation double-buffer
 	cloudCounts []int             // per-edge member counts of the cloud round
@@ -428,11 +464,13 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 		evalNet:     base,
 		probeNet:    base.Clone(),
 		probeOpt:    nn.NewSGD(0),
-		capacity:    cfg.Participation * float64(schedule.Devices) / float64(schedule.Edges),
-		memberIndex: mobility.NewMemberIndex(schedule),
+		capacity: cfg.Participation * float64(schedule.Devices) / float64(schedule.Edges),
 	}
 	if obs, ok := strategy.(sampling.Observer); ok {
 		e.observer = obs
+	}
+	if bo, ok := strategy.(sampling.BatchObserver); ok {
+		e.batchObs = bo
 	}
 	if ip, ok := strategy.(sampling.InPlaceStrategy); ok {
 		e.inplace = ip
@@ -465,10 +503,21 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 	}
 	e.plans = make([]edgePlan, schedule.Edges)
 	e.decide = make([]edgeDecideState, schedule.Edges)
-	e.decideErrs = make([]error, schedule.Edges)
 	e.aggNext = make([][]float64, schedule.Edges)
 	if cfg.FuseBatch {
 		e.fused = make([]fusedEdgeState, schedule.Edges)
+	}
+	e.groups = cloudGroups(schedule.Edges)
+	e.groupCounts = make([]int, e.groups)
+	e.cloudCounts = make([]int, schedule.Edges)
+	shards := cfg.shardCount(e.groups)
+	e.shards = make([]*shardState, shards)
+	e.edgeShard = make([]int, schedule.Edges)
+	for s := range e.shards {
+		e.shards[s] = newShardState(e, s, shards)
+		for n := e.shards[s].lo; n < e.shards[s].hi; n++ {
+			e.edgeShard[n] = s
+		}
 	}
 	return e, nil
 }

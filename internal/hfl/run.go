@@ -126,10 +126,15 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 	res := &Result{History: &metrics.History{}}
 
 	e.pool = parallel.NewPool(e.cfg.workers())
+	e.startActors()
 	defer func() {
+		e.stopActors()
 		e.pool.Close()
 		e.pool = nil
 	}()
+	if e.tel != nil {
+		e.tel.SetShardCount(len(e.shards))
+	}
 
 	tr := e.tel.Trace()
 	tr.Emit(&telemetry.Event{Type: telemetry.EventRun, Run: &telemetry.RunEvent{
@@ -151,78 +156,44 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 
 	modelBytes := int64(len(e.global)) * 8
 	for t := 0; t < e.cfg.Steps; t++ {
-		// Decision phase: owns every RNG draw of the step. The membership
-		// index positions once per step (O(Devices+Edges), delta-updated),
-		// then independent edges decide concurrently.
+		// Submit the step to every shard actor: each runs decide → execute →
+		// finalize for its own edge range (decide and finalize serially, in
+		// edge order, on its goroutine; device training on the shared pool)
+		// and the barrier inside submitAll is the collect point. No RNG
+		// stream, experience write or model reduction crosses a shard
+		// boundary mid-step, so the cross-shard interleaving cannot reach a
+		// value (DESIGN.md §11).
 		stepStart := e.tel.Now()
-		e.memberIndex.Advance(t)
-		dg := e.pool.Group()
-		for n := 0; n < e.schedule.Edges; n++ {
-			dg.Go(func() { e.decideErrs[n] = e.edgeDecide(t, n) })
+		e.submitAll(shardCmd{op: opStep, t: t})
+		if err := e.collectStep(t); err != nil {
+			return nil, err
 		}
-		dg.Wait()
-		for n, err := range e.decideErrs {
-			if err != nil {
-				return nil, fmt.Errorf("hfl: step %d edge %d: %w", t, n, err)
-			}
-		}
-		e.observePhase(t, telemetry.HistDecideNS, "decide", stepStart)
 
-		// Execution phase: local SGD on the shared pool. Unfused, each
-		// sampled device is one task touching only its own state (the
-		// schedule assigns a device to exactly one edge per step) and the
-		// step's frozen edge models; with FuseBatch, each edge's plan runs
-		// as one fused task over per-edge pooled state.
-		trainStart := e.tel.Now()
-		g := e.pool.Group()
-		if e.cfg.FuseBatch {
-			for n := range e.plans {
-				g.Go(func() { e.edgeLocalUpdates(n) })
-			}
-		} else {
-			for n := range e.plans {
-				edgeParams := e.edge[n]
-				devs := e.plans[n].devs
-				for i := range devs {
-					pd := &devs[i]
-					g.Go(func() {
-						pd.sqNorms, pd.err = e.localUpdate(e.devices[pd.m], edgeParams)
-					})
-				}
-			}
-		}
-		e.tel.SetGauge(telemetry.GaugeQueueDepth, float64(e.pool.QueueDepth()))
-		g.Wait()
-		e.observePhase(t, telemetry.HistTrainNS, "train", trainStart)
-
-		// Finalize phase: member-order observation and aggregation, plus the
-		// serial, edge-ordered emission of the step's telemetry.
-		finStart := e.tel.Now()
+		// Serial accounting pass in edge order: communication and sampling
+		// telemetry, plus the edge-ordered emission of decision events.
 		var stepTel stepTelemetry
 		stepSampled := 0
-		for n := 0; n < e.schedule.Edges; n++ {
-			counts, err := e.edgeFinalize(t, n)
-			if err != nil {
-				return nil, fmt.Errorf("hfl: step %d edge %d: %w", t, n, err)
-			}
-			stepSampled += counts.uploaded
-			res.Comm.DeviceDownlinkBytes += int64(counts.trained) * modelBytes
-			res.Comm.DeviceUplinkBytes += int64(counts.uploaded) * modelBytes
-			res.Comm.DeviceDownloads += int64(counts.trained)
-			res.Comm.DeviceUploads += int64(counts.uploaded)
-			if e.tel != nil {
-				e.tel.Add(telemetry.CounterDevicesTrained, int64(counts.trained))
-				e.tel.Add(telemetry.CounterDevicesUploaded, int64(counts.uploaded))
-				e.tel.Add(telemetry.CounterUploadsDropped, int64(counts.trained-counts.uploaded))
-				e.tel.Add(telemetry.CounterDeviceDownlinkBytes, int64(counts.trained)*modelBytes)
-				e.tel.Add(telemetry.CounterDeviceUplinkBytes, int64(counts.uploaded)*modelBytes)
-				e.observeEdge(t, n, counts, &stepTel)
+		for _, s := range e.shards {
+			for n := s.lo; n < s.hi; n++ {
+				counts := s.counts[n-s.lo]
+				stepSampled += counts.uploaded
+				res.Comm.DeviceDownlinkBytes += int64(counts.trained) * modelBytes
+				res.Comm.DeviceUplinkBytes += int64(counts.uploaded) * modelBytes
+				res.Comm.DeviceDownloads += int64(counts.trained)
+				res.Comm.DeviceUploads += int64(counts.uploaded)
+				if e.tel != nil {
+					e.tel.Add(telemetry.CounterDevicesTrained, int64(counts.trained))
+					e.tel.Add(telemetry.CounterDevicesUploaded, int64(counts.uploaded))
+					e.tel.Add(telemetry.CounterUploadsDropped, int64(counts.trained-counts.uploaded))
+					e.tel.Add(telemetry.CounterDeviceDownlinkBytes, int64(counts.trained)*modelBytes)
+					e.tel.Add(telemetry.CounterDeviceUplinkBytes, int64(counts.uploaded)*modelBytes)
+					e.observeEdge(t, n, counts, &stepTel)
+				}
 			}
 		}
 		if e.tel != nil {
 			e.flushStepTelemetry(&stepTel)
 		}
-		e.observePhase(t, telemetry.HistAggregateNS, "finalize", finStart)
 		res.SampledPerStep = append(res.SampledPerStep, stepSampled)
 		res.TotalSampled += stepSampled
 		res.StepsRun = t + 1
@@ -323,7 +294,7 @@ type stepTelemetry struct {
 // trace output deterministic; the decide-phase buffers it reads (probs,
 // scratch estimates, coins) stay valid until the edge's next decide.
 func (e *Engine) observeEdge(t, n int, counts edgeStepCounts, acc *stepTelemetry) {
-	members := e.memberIndex.Members(n)
+	members := e.edgeMembers(n)
 	e.tel.Observe(telemetry.HistEdgeMembers, int64(len(members)))
 	e.tel.Observe(telemetry.HistEdgeSampled, int64(counts.trained))
 	if len(members) == 0 {
@@ -415,7 +386,7 @@ type edgeStepCounts struct {
 func (e *Engine) edgeDecide(t, n int) error {
 	plan := &e.plans[n]
 	plan.devs = plan.devs[:0]
-	members := e.memberIndex.Members(n)
+	members := e.edgeMembers(n)
 	if len(members) == 0 {
 		return nil
 	}
@@ -489,13 +460,16 @@ func (e *Engine) edgeDecide(t, n int) error {
 }
 
 // edgeFinalize walks one edge's executed plan in member order: it surfaces
-// local-update errors, records training experience with the strategy's
-// observer, collects the surviving uploads and merges them into the edge
-// model (Algorithm 1, lines 6-11).
-func (e *Engine) edgeFinalize(t, n int) (edgeStepCounts, error) {
+// local-update errors, buffers training experience into the owning shard
+// (merged into the strategy's observer at the step's collect point, in edge
+// order), collects the surviving uploads and merges them into the edge model
+// (Algorithm 1, lines 6-11). The buffered sqNorms slices are the devices'
+// reusable windows, valid until each device's next training step — which is
+// after the merge.
+func (e *Engine) edgeFinalize(t, n int, s *shardState) (edgeStepCounts, error) {
 	var counts edgeStepCounts
 	plan := &e.plans[n]
-	results := e.aggResults[:0]
+	results := s.aggResults[:0]
 	for i := range plan.devs {
 		pd := &plan.devs[i]
 		if pd.err != nil {
@@ -503,7 +477,9 @@ func (e *Engine) edgeFinalize(t, n int) (edgeStepCounts, error) {
 		}
 		counts.trained++
 		if e.observer != nil {
-			e.observer.Observe(t, n, pd.m, pd.sqNorms)
+			s.obsEdges = append(s.obsEdges, n)
+			s.obsDevs = append(s.obsDevs, pd.m)
+			s.obsNorms = append(s.obsNorms, pd.sqNorms)
 		}
 		if !pd.upload {
 			continue
@@ -518,7 +494,7 @@ func (e *Engine) edgeFinalize(t, n int) (edgeStepCounts, error) {
 	}
 	e.aggregateEdge(n, results, e.strategy.Unbiased())
 	counts.uploaded = len(results)
-	e.aggResults = results[:0] // keep the grown capacity for the next edge
+	s.aggResults = results[:0] // keep the grown capacity for the shard's next edge
 	return counts, nil
 }
 
@@ -607,20 +583,40 @@ func (e *Engine) aggregateEdge(n int, results []localResult, unbiased bool) {
 }
 
 // cloudAggregate merges edge models into the global model with the
-// member-count weights of Eq. (6) and redistributes it to every edge. Like
-// edge aggregation it double-buffers the global vector, so cloud rounds stop
-// allocating after the first.
+// member-count weights of Eq. (6) as a two-tier reduce — every shard folds
+// its cloud-reduce groups' partial sums in edge order, then the engine folds
+// the group partials in group order — and redistributes the result to every
+// edge. The grouping is a pure function of the edge count (cloudGroups),
+// never of the shard count, so the summation order — and therefore every
+// bit of the global model — is identical for every Config.Shards value.
+// Like edge aggregation it double-buffers the global vector, so cloud
+// rounds stop allocating after the first.
 func (e *Engine) cloudAggregate(t int) {
-	if e.cloudCounts == nil {
-		e.cloudCounts = make([]int, e.schedule.Edges)
-	}
-	// Within Run the index is already positioned at t (decide advanced it);
-	// direct callers (tests) get the same counts via an explicit Advance.
-	e.memberIndex.Advance(t)
+	// Within Run every shard index is already positioned at t (the step
+	// command advanced it); direct callers (tests) get the same counts via
+	// an explicit Advance.
 	total := 0
-	for n := range e.cloudCounts {
-		e.cloudCounts[n] = e.memberIndex.Count(n)
-		total += e.cloudCounts[n]
+	for _, s := range e.shards {
+		s.index.Advance(t)
+		for n := s.lo; n < s.hi; n++ {
+			e.cloudCounts[n] = s.index.Count(n)
+			total += e.cloudCounts[n]
+		}
+	}
+	for g := 0; g < e.groups; g++ {
+		sum := 0
+		for n := groupEdgeLo(e.schedule.Edges, e.groups, g); n < groupEdgeLo(e.schedule.Edges, e.groups, g+1); n++ {
+			sum += e.cloudCounts[n]
+		}
+		e.groupCounts[g] = sum
+	}
+	if e.actorsUp {
+		e.submitAll(shardCmd{op: opCloudPartial, total: float64(total)})
+		e.surfaceShardPanics()
+	} else {
+		for _, s := range e.shards {
+			s.cloudPartials(float64(total))
+		}
 	}
 	next := e.cloudNext
 	if len(next) != len(e.global) {
@@ -630,19 +626,27 @@ func (e *Engine) cloudAggregate(t int) {
 			next[j] = 0
 		}
 	}
-	for n, params := range e.edge {
-		w := float64(e.cloudCounts[n]) / float64(total)
-		//machlint:allow floateq zero weight is exact (0/total); skipping it avoids touching next with -0 terms
-		if w == 0 {
-			continue
-		}
-		for j, v := range params {
-			next[j] += w * v
+	for _, s := range e.shards {
+		for g := s.gLo; g < s.gHi; g++ {
+			// A group whose edges all have zero members contributed exactly
+			// zero weight; skipping it mirrors the per-edge zero-weight skip
+			// inside the shard fold.
+			if e.groupCounts[g] == 0 {
+				continue
+			}
+			for j, v := range s.partials[g-s.gLo] {
+				next[j] += v
+			}
 		}
 	}
 	e.global, e.cloudNext = next, e.global
-	for n := range e.edge {
-		copy(e.edge[n], e.global)
+	if e.actorsUp {
+		e.submitAll(shardCmd{op: opInstallGlobal})
+		e.surfaceShardPanics()
+	} else {
+		for _, s := range e.shards {
+			s.installGlobal()
+		}
 	}
 }
 

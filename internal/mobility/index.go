@@ -12,9 +12,17 @@ import "sort"
 // spatial locality: only the devices whose edge actually changed are removed
 // from their old edge list and inserted into their new one, keeping every
 // list in ascending device order. Each repair shifts O(Devices/Edges)
-// elements, so once a step moves more than about half the edge count the
-// counting rebuild is cheaper and the index falls back to it, bounding the
-// worst case at the full-build cost.
+// elements, so once a step moves more than about half the covered edge count
+// the counting rebuild is cheaper and the index falls back to it, bounding
+// the worst case at the full-build cost.
+//
+// An index may cover only a contiguous *range* of edges [lo, hi) — see
+// NewMemberIndexRange. Range indexes are how the sharded control plane
+// partitions membership: each shard builds and repairs exactly its own
+// edges' lists, and the union of the shards' indexes is the full index.
+// Whether a list was produced by a full index, a range index, a rebuild or a
+// delta repair, its contents are identical — membership is a pure function
+// of (schedule, step) — so range scoping never affects what callers read.
 //
 // Member lists are ascending in device ID — exactly the order
 // Schedule.MembersAt returns — so decision logic that walks members in order
@@ -24,29 +32,45 @@ import "sort"
 // from one goroutine, but any number of goroutines may call Members/Count
 // between Advances (the per-step parallel decide phase does exactly that).
 type MemberIndex struct {
-	s    *Schedule
-	step int // current step, -1 before the first Advance
+	s      *Schedule
+	step   int // current step, -1 before the first Advance
+	lo, hi int // covered edge range [lo, hi)
 
-	members [][]int // members[n]: devices on edge n at the current step, ascending
-	counts  []int   // counting-pass scratch, one cell per edge
-	moved   []int   // delta-pass scratch: devices whose edge changed
+	members [][]int // members[n-lo]: devices on edge n at the current step, ascending
+	counts  []int   // counting-pass scratch, one cell per covered edge
+	moved   []int   // delta-pass scratch: devices whose edge change touches the range
 }
 
-// Delta advances rebuild from scratch once more than Edges/deltaRebuildDen
-// devices moved in one step. A moved device costs an O(list length) sorted
-// remove + insert — about 2·Devices/Edges element moves — while the counting
-// rebuild costs O(Devices) flat, so repair wins only while
+// Delta advances rebuild from scratch once more than covered/deltaRebuildDen
+// devices moved in one step (covered = hi-lo, the range width). A moved
+// device costs an O(list length) sorted remove + insert — about
+// 2·Devices/Edges element moves — while the counting rebuild costs
+// O(Devices) flat, so repair wins only while
 // moved · 2·Devices/Edges < Devices, i.e. moved < Edges/2.
 const deltaRebuildDen = 2
 
-// NewMemberIndex returns an index over s, positioned at no step. Call
-// Advance before reading members.
+// NewMemberIndex returns an index over every edge of s, positioned at no
+// step. Call Advance before reading members.
 func NewMemberIndex(s *Schedule) *MemberIndex {
+	return NewMemberIndexRange(s, 0, s.Edges)
+}
+
+// NewMemberIndexRange returns an index covering only the edges [lo, hi) of
+// s, positioned at no step. Build and repair cost scale with the range: the
+// counting pass still scans the full device row (membership of a range is
+// not locally decidable) but sizes, fills and repairs only the covered
+// lists. Members/Count must only be asked about edges inside the range.
+func NewMemberIndexRange(s *Schedule, lo, hi int) *MemberIndex {
+	if lo < 0 || hi > s.Edges || lo > hi {
+		panic("mobility: member index range out of bounds")
+	}
 	return &MemberIndex{
 		s:       s,
 		step:    -1,
-		members: make([][]int, s.Edges),
-		counts:  make([]int, s.Edges),
+		lo:      lo,
+		hi:      hi,
+		members: make([][]int, hi-lo),
+		counts:  make([]int, hi-lo),
 	}
 }
 
@@ -54,13 +78,20 @@ func NewMemberIndex(s *Schedule) *MemberIndex {
 // Advance.
 func (ix *MemberIndex) Step() int { return ix.step }
 
+// Lo returns the first covered edge.
+func (ix *MemberIndex) Lo() int { return ix.lo }
+
+// Hi returns one past the last covered edge.
+func (ix *MemberIndex) Hi() int { return ix.hi }
+
 // Members returns M^t_n for the current step, ascending in device ID. The
 // slice is owned by the index and valid until the next Advance; callers must
-// not mutate or retain it across Advances.
-func (ix *MemberIndex) Members(n int) []int { return ix.members[n] }
+// not mutate or retain it across Advances. n must lie in the covered range.
+func (ix *MemberIndex) Members(n int) []int { return ix.members[n-ix.lo] }
 
-// Count returns |M^t_n| for the current step.
-func (ix *MemberIndex) Count(n int) int { return len(ix.members[n]) }
+// Count returns |M^t_n| for the current step. n must lie in the covered
+// range.
+func (ix *MemberIndex) Count(n int) int { return len(ix.members[n-ix.lo]) }
 
 // Advance positions the index at step t. Advancing to the current step is a
 // no-op; advancing by exactly one step takes the incremental delta path when
@@ -79,7 +110,8 @@ func (ix *MemberIndex) Advance(t int) {
 }
 
 // rebuild builds the member lists for step t by counting sort: one pass
-// sizes each edge's list, a second fills them in ascending device order.
+// sizes each covered edge's list, a second fills them in ascending device
+// order.
 func (ix *MemberIndex) rebuild(t int) {
 	row := ix.s.edgeOf[t]
 	counts := ix.counts
@@ -87,7 +119,9 @@ func (ix *MemberIndex) rebuild(t int) {
 		counts[n] = 0
 	}
 	for _, e := range row {
-		counts[e]++
+		if e >= ix.lo && e < ix.hi {
+			counts[e-ix.lo]++
+		}
 	}
 	for n := range ix.members {
 		if cap(ix.members[n]) < counts[n] {
@@ -100,21 +134,24 @@ func (ix *MemberIndex) rebuild(t int) {
 		}
 	}
 	for m, e := range row {
-		ix.members[e] = append(ix.members[e], m)
+		if e >= ix.lo && e < ix.hi {
+			ix.members[e-ix.lo] = append(ix.members[e-ix.lo], m)
+		}
 	}
 	ix.step = t
 }
 
 // advanceDelta repairs the member lists from step t-1 to step t, touching
-// only the devices that changed edges. It reports false — leaving the index
-// unchanged — when the step moved too many devices for a repair to beat a
-// rebuild.
+// only the devices whose edge change intersects the covered range (a move
+// entirely outside the range costs nothing and does not count against the
+// repair budget). It reports false — leaving the index unchanged — when the
+// step moved too many covered devices for a repair to beat a rebuild.
 func (ix *MemberIndex) advanceDelta(t int) bool {
 	prev, cur := ix.s.edgeOf[t-1], ix.s.edgeOf[t]
-	limit := ix.s.Edges / deltaRebuildDen
+	limit := (ix.hi - ix.lo) / deltaRebuildDen
 	moved := ix.moved[:0]
 	for m := range cur {
-		if cur[m] != prev[m] {
+		if cur[m] != prev[m] && (ix.covers(cur[m]) || ix.covers(prev[m])) {
 			if len(moved) >= limit {
 				ix.moved = moved
 				return false
@@ -124,14 +161,21 @@ func (ix *MemberIndex) advanceDelta(t int) bool {
 	}
 	ix.moved = moved
 	for _, m := range moved {
-		ix.members[prev[m]] = removeSorted(ix.members[prev[m]], m)
+		if ix.covers(prev[m]) {
+			ix.members[prev[m]-ix.lo] = removeSorted(ix.members[prev[m]-ix.lo], m)
+		}
 	}
 	for _, m := range moved {
-		ix.members[cur[m]] = insertSorted(ix.members[cur[m]], m)
+		if ix.covers(cur[m]) {
+			ix.members[cur[m]-ix.lo] = insertSorted(ix.members[cur[m]-ix.lo], m)
+		}
 	}
 	ix.step = t
 	return true
 }
+
+// covers reports whether edge n lies in the index's covered range.
+func (ix *MemberIndex) covers(n int) bool { return n >= ix.lo && n < ix.hi }
 
 // removeSorted deletes v from an ascending slice that contains it.
 func removeSorted(s []int, v int) []int {

@@ -60,6 +60,26 @@ func (b *ExperienceBook) Observe(m int, sqNorms []float64) {
 	d.seen = true
 }
 
+// ObserveMany records one Observe(devices[i], norms[i]) per element under a
+// single lock — the sharded engine's merge path, one lock per shard batch
+// instead of one per observation. The per-device bookkeeping is identical to
+// Observe, so the book's state after ObserveMany is bit-identical to the
+// equivalent Observe sequence.
+func (b *ExperienceBook) ObserveMany(devices []int, norms [][]float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range devices {
+		sqNorms := norms[i]
+		if len(sqNorms) == 0 {
+			continue
+		}
+		d := &b.devices[m]
+		d.buffer = append(d.buffer, sqNorms...)
+		d.steps++
+		d.seen = true
+	}
+}
+
 // CloudRound folds the current buffers into the UCB statistics and clears
 // them (Algorithm 2, lines 2-4). t is the current time step, used by the
 // confidence radius √(log t / Σ 1).

@@ -78,6 +78,7 @@ type MACH struct {
 var (
 	_ InPlaceStrategy  = (*MACH)(nil)
 	_ Observer         = (*MACH)(nil)
+	_ BatchObserver    = (*MACH)(nil)
 	_ Introspector     = (*MACH)(nil)
 	_ ScratchEstimator = (*MACH)(nil)
 	_ FloorReporter    = (*MACH)(nil)
@@ -114,6 +115,12 @@ func (s *MACH) ProbFloor() float64 { return s.cfg.QMin }
 // MACH's experience buffer lives on the device, so experiences follow the
 // device across edges.
 func (s *MACH) Observe(_, _, m int, sqNorms []float64) { s.book.Observe(m, sqNorms) }
+
+// ObserveBatch implements BatchObserver: one book lock per shard batch. The
+// edges are ignored for the same reason Observe ignores its edge.
+func (s *MACH) ObserveBatch(_ int, _, devices []int, norms [][]float64) {
+	s.book.ObserveMany(devices, norms)
+}
 
 // CloudRound implements Observer (Algorithm 2, lines 2-4).
 func (s *MACH) CloudRound(t int) { s.book.CloudRound(t) }

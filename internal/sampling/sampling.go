@@ -128,6 +128,19 @@ type Observer interface {
 	CloudRound(t int)
 }
 
+// BatchObserver is an optional extension of Observer for sharded control
+// planes: ObserveBatch records a whole run of one step's observations —
+// edges[i], devices[i], norms[i] aligned — in one call, equivalent to the
+// same sequence of Observe(t, edges[i], devices[i], norms[i]) calls but
+// without per-observation lock traffic. The engine buffers each shard's
+// observations during the step and merges them at the step's collect point
+// in edge order, so a BatchObserver sees exactly the observation sequence
+// the serial engine produced; strategies without it get the per-call replay.
+type BatchObserver interface {
+	Observer
+	ObserveBatch(t int, edges, devices []int, norms [][]float64)
+}
+
 // capProbabilities scales raw non-negative scores to sampling probabilities
 // with Σ q ≤ capacity and q ∈ [floor, 1]. Scores must not be all zero; a
 // uniform fallback is used if they are.

@@ -172,6 +172,31 @@ func (h *histogram) observe(v int64) {
 	h.buckets[idx].Add(1)
 }
 
+// ShardPhase identifies one phase of a control-plane shard's step: the
+// shard-indexed analogue of the HistDecideNS/HistTrainNS/HistAggregateNS
+// histograms, so per-shard imbalance is visible where the aggregate
+// histograms would average it away.
+type ShardPhase int
+
+// Shard phases of one step.
+const (
+	ShardPhaseDecide ShardPhase = iota
+	ShardPhaseTrain
+	ShardPhaseFinalize
+
+	shardPhaseCount
+)
+
+// shardPhaseNames align with the ShardPhase constants.
+var shardPhaseNames = [shardPhaseCount]string{"decide", "train", "finalize"}
+
+// shardMetrics is one shard's slot: per-phase duration histograms and the
+// worker-pool backlog observed when the shard submitted its execution tasks.
+type shardMetrics struct {
+	phases     [shardPhaseCount]histogram
+	queueDepth atomic.Int64
+}
+
 // Telemetry is the metrics sink. The zero value is not useful — construct
 // with New — but a nil *Telemetry is: every method no-ops, allocation-free,
 // so "telemetry disabled" is simply a nil pointer.
@@ -180,6 +205,7 @@ type Telemetry struct {
 	counters [counterCount]atomic.Int64
 	gauges   [gaugeCount]atomic.Uint64 // float64 bits
 	hists    [histCount]histogram
+	shards   atomic.Pointer[[]shardMetrics]
 	trace    atomic.Pointer[Trace]
 }
 
@@ -283,6 +309,75 @@ func (t *Telemetry) ObserveSince(h Hist, start int64) {
 	t.hists[h].observe(t.clock() - start)
 }
 
+// SetShardCount sizes the per-shard metric slots. The engine calls it once
+// per Run with the effective shard count; observations to out-of-range
+// shards are dropped. Re-sizing to the current count keeps existing
+// observations; any other count resets them (the slots are replaced).
+func (t *Telemetry) SetShardCount(n int) {
+	if t == nil || n < 0 {
+		return
+	}
+	if cur := t.shards.Load(); cur != nil && len(*cur) == n {
+		return
+	}
+	s := make([]shardMetrics, n)
+	t.shards.Store(&s)
+}
+
+// ShardCount returns how many per-shard metric slots are configured.
+func (t *Telemetry) ShardCount() int {
+	if t == nil {
+		return 0
+	}
+	s := t.shards.Load()
+	if s == nil {
+		return 0
+	}
+	return len(*s)
+}
+
+// ObserveShardPhase records one shard's phase duration in nanoseconds.
+//
+//machlint:allocfree
+func (t *Telemetry) ObserveShardPhase(shard int, p ShardPhase, ns int64) {
+	if t == nil {
+		return
+	}
+	s := t.shards.Load()
+	if s == nil || shard < 0 || shard >= len(*s) {
+		return
+	}
+	(*s)[shard].phases[p].observe(ns)
+}
+
+// SetShardQueueDepth records the worker-pool backlog a shard saw when it
+// submitted its execution tasks — a per-shard gauge, last value wins.
+//
+//machlint:allocfree
+func (t *Telemetry) SetShardQueueDepth(shard int, depth int64) {
+	if t == nil {
+		return
+	}
+	s := t.shards.Load()
+	if s == nil || shard < 0 || shard >= len(*s) {
+		return
+	}
+	(*s)[shard].queueDepth.Store(depth)
+}
+
+// ShardQueueDepth returns a shard's last recorded queue depth (0 when
+// disabled or out of range).
+func (t *Telemetry) ShardQueueDepth(shard int) int64 {
+	if t == nil {
+		return 0
+	}
+	s := t.shards.Load()
+	if s == nil || shard < 0 || shard >= len(*s) {
+		return 0
+	}
+	return (*s)[shard].queueDepth.Load()
+}
+
 // HistBucket is one non-empty histogram bucket of a snapshot: Count
 // observations fell in [Lo, Hi].
 type HistBucket struct {
@@ -299,13 +394,22 @@ type HistSnapshot struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
+// ShardSnapshot is one control-plane shard's state at snapshot time.
+type ShardSnapshot struct {
+	Shard      int                     `json:"shard"`
+	Phases     map[string]HistSnapshot `json:"phases"`
+	QueueDepth int64                   `json:"queue_depth"`
+}
+
 // Snapshot is a point-in-time copy of every metric, rendered with stable
-// string keys. encoding/json serializes map keys in sorted order, so a
-// marshalled snapshot is deterministic for deterministic metric values.
+// string keys. encoding/json serializes map keys in sorted order and shards
+// are listed in shard order, so a marshalled snapshot is deterministic for
+// deterministic metric values.
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]float64      `json:"gauges"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
+	Shards     []ShardSnapshot         `json:"shards,omitempty"`
 }
 
 // Snapshot copies the current metric values. It returns an empty (non-nil)
@@ -326,26 +430,44 @@ func (t *Telemetry) Snapshot() *Snapshot {
 		s.Gauges[gaugeNames[g]] = math.Float64frombits(t.gauges[g].Load())
 	}
 	for h := Hist(0); h < histCount; h++ {
-		hist := &t.hists[h]
-		hs := HistSnapshot{Count: hist.count.Load(), Sum: hist.sum.Load()}
-		if hs.Count > 0 {
-			hs.Mean = float64(hs.Sum) / float64(hs.Count)
-		}
-		for i := 0; i < histBuckets; i++ {
-			n := hist.buckets[i].Load()
-			if n == 0 {
-				continue
+		s.Histograms[histNames[h]] = snapshotHist(&t.hists[h])
+	}
+	if shards := t.shards.Load(); shards != nil {
+		for i := range *shards {
+			sm := &(*shards)[i]
+			ss := ShardSnapshot{
+				Shard:      i,
+				Phases:     map[string]HistSnapshot{},
+				QueueDepth: sm.queueDepth.Load(),
 			}
-			b := HistBucket{Count: n}
-			if i > 0 {
-				b.Lo = int64(1) << (i - 1)
-				b.Hi = int64(1)<<i - 1
+			for p := ShardPhase(0); p < shardPhaseCount; p++ {
+				ss.Phases[shardPhaseNames[p]] = snapshotHist(&sm.phases[p])
 			}
-			hs.Buckets = append(hs.Buckets, b)
+			s.Shards = append(s.Shards, ss)
 		}
-		s.Histograms[histNames[h]] = hs
 	}
 	return s
+}
+
+// snapshotHist copies one histogram's state.
+func snapshotHist(hist *histogram) HistSnapshot {
+	hs := HistSnapshot{Count: hist.count.Load(), Sum: hist.sum.Load()}
+	if hs.Count > 0 {
+		hs.Mean = float64(hs.Sum) / float64(hs.Count)
+	}
+	for i := 0; i < histBuckets; i++ {
+		n := hist.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := HistBucket{Count: n}
+		if i > 0 {
+			b.Lo = int64(1) << (i - 1)
+			b.Hi = int64(1)<<i - 1
+		}
+		hs.Buckets = append(hs.Buckets, b)
+	}
+	return hs
 }
 
 // WriteSnapshot renders the current metrics as indented JSON.

@@ -84,6 +84,98 @@ func TestCountersGaugesHistograms(t *testing.T) {
 	}
 }
 
+// TestShardMetrics covers the per-shard surface: SetShardCount sizes the
+// slots, phase observations and queue depths land on the right shard,
+// out-of-range writes are dropped, and the snapshot lists shards in order
+// with one named section per phase.
+func TestShardMetrics(t *testing.T) {
+	tel := New()
+	if got := tel.ShardCount(); got != 0 {
+		t.Fatalf("ShardCount before SetShardCount = %d, want 0", got)
+	}
+	// Out-of-range and disabled writes must be silent no-ops.
+	tel.ObserveShardPhase(0, ShardPhaseDecide, 5)
+	tel.SetShardQueueDepth(0, 9)
+
+	tel.SetShardCount(3)
+	tel.ObserveShardPhase(0, ShardPhaseDecide, 10)
+	tel.ObserveShardPhase(0, ShardPhaseDecide, 30)
+	tel.ObserveShardPhase(2, ShardPhaseTrain, 100)
+	tel.ObserveShardPhase(2, ShardPhaseFinalize, 7)
+	tel.ObserveShardPhase(3, ShardPhaseDecide, 999) // out of range: dropped
+	tel.ObserveShardPhase(-1, ShardPhaseDecide, 999)
+	tel.SetShardQueueDepth(1, 4)
+	tel.SetShardQueueDepth(1, 2) // gauge: last value wins
+	tel.SetShardQueueDepth(3, 8) // out of range: dropped
+
+	if got := tel.ShardCount(); got != 3 {
+		t.Fatalf("ShardCount = %d, want 3", got)
+	}
+	if got := tel.ShardQueueDepth(1); got != 2 {
+		t.Fatalf("ShardQueueDepth(1) = %d, want 2", got)
+	}
+	if got := tel.ShardQueueDepth(3); got != 0 {
+		t.Fatalf("ShardQueueDepth(3) = %d, want 0 (out of range)", got)
+	}
+
+	s := tel.Snapshot()
+	if len(s.Shards) != 3 {
+		t.Fatalf("snapshot has %d shard sections, want 3", len(s.Shards))
+	}
+	for i, sh := range s.Shards {
+		if sh.Shard != i {
+			t.Fatalf("shard section %d labelled %d", i, sh.Shard)
+		}
+	}
+	d0 := s.Shards[0].Phases["decide"]
+	if d0.Count != 2 || d0.Sum != 40 {
+		t.Fatalf("shard 0 decide count/sum = %d/%d, want 2/40", d0.Count, d0.Sum)
+	}
+	if tr := s.Shards[2].Phases["train"]; tr.Count != 1 || tr.Sum != 100 {
+		t.Fatalf("shard 2 train count/sum = %d/%d, want 1/100", tr.Count, tr.Sum)
+	}
+	if fn := s.Shards[2].Phases["finalize"]; fn.Count != 1 || fn.Sum != 7 {
+		t.Fatalf("shard 2 finalize count/sum = %d/%d, want 1/7", fn.Count, fn.Sum)
+	}
+	if d1 := s.Shards[1].Phases["decide"]; d1.Count != 0 {
+		t.Fatalf("shard 1 decide count = %d, want 0", d1.Count)
+	}
+	if s.Shards[1].QueueDepth != 2 {
+		t.Fatalf("shard 1 queue depth = %d, want 2", s.Shards[1].QueueDepth)
+	}
+
+	// Same-count SetShardCount keeps observations; a different count resets.
+	tel.SetShardCount(3)
+	if d0 := tel.Snapshot().Shards[0].Phases["decide"]; d0.Count != 2 {
+		t.Fatalf("same-count resize dropped observations: count = %d", d0.Count)
+	}
+	tel.SetShardCount(2)
+	s = tel.Snapshot()
+	if len(s.Shards) != 2 {
+		t.Fatalf("after resize snapshot has %d shard sections, want 2", len(s.Shards))
+	}
+	if d0 := s.Shards[0].Phases["decide"]; d0.Count != 0 {
+		t.Fatalf("resize kept stale observations: count = %d", d0.Count)
+	}
+}
+
+// TestShardMetricsZeroAlloc keeps the per-shard hot path (phase observe,
+// queue-depth gauge) allocation-free, enabled and disabled alike.
+func TestShardMetricsZeroAlloc(t *testing.T) {
+	var nilTel *Telemetry
+	tel := New()
+	tel.SetShardCount(4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tel.ObserveShardPhase(2, ShardPhaseTrain, 50)
+		tel.SetShardQueueDepth(2, 3)
+		nilTel.ObserveShardPhase(0, ShardPhaseDecide, 1)
+		nilTel.SetShardQueueDepth(0, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("shard metrics hot path allocates %.1f per run, want 0", allocs)
+	}
+}
+
 // TestSnapshotDeterministicJSON pins that two identical sinks marshal to
 // identical bytes — map keys sort, so the snapshot is diffable.
 func TestSnapshotDeterministicJSON(t *testing.T) {

@@ -74,10 +74,13 @@ type DecisionEvent struct {
 	Dropped   []int     `json:"dropped,omitempty"`
 }
 
-// PhaseEvent is one phase's wall-clock duration within a step.
+// PhaseEvent is one phase's wall-clock duration within a step. Shard
+// identifies which control-plane shard ran the phase (0 for the engine-side
+// eval phase and for single-shard runs).
 type PhaseEvent struct {
-	Name string `json:"name"` // decide | train | finalize | eval
-	NS   int64  `json:"ns"`
+	Name  string `json:"name"` // decide | train | finalize | eval
+	NS    int64  `json:"ns"`
+	Shard int    `json:"shard,omitempty"`
 }
 
 // EvalEvent is one global-model evaluation.

@@ -38,6 +38,9 @@ go test -race -short ./internal/fed/ ./internal/codec/
 echo "== go test -race -short (fused-path determinism, both lanes)"
 go test -race -short -run 'TestRunF32BitIdenticalAcrossWorkerCounts|TestRunFusedMatchesUnfused' ./internal/hfl
 
+echo "== go test -race -short (sharded control plane, Shards=3 smoke)"
+go test -race -short -run 'TestRunBitIdenticalAcrossShardCounts|TestShardedMatchesSeedEngineGolden' ./internal/hfl
+
 echo "== f32-lane + fusion smoke (seeded run, accuracy within tolerance of f64)"
 go test -count=1 -run 'TestRunF32TracksF64' ./internal/hfl
 
