@@ -9,6 +9,14 @@
 //	machsim -task mnist -strategy mach -steps 150
 //	tracegen -trace t.csv -coords s.csv && \
 //	machsim -task fmnist -strategy mach -trace t.csv -coords s.csv
+//
+// With -stream the trace is consumed through the O(Devices) streaming
+// mobility window (DESIGN.md §12) instead of being materialized into a dense
+// Steps×Devices schedule; the trace must then be sorted by start time
+// (tracegen -sort-time) and -step-dur must be given:
+//
+//	tracegen -sort-time -trace t.csv -coords s.csv && \
+//	machsim -task mnist -trace t.csv -coords s.csv -stream -step-dur 5
 package main
 
 import (
@@ -60,6 +68,8 @@ func run() error {
 		target   = flag.Float64("target", 0, "stop at this accuracy (0 = run to completion)")
 		tracePth = flag.String("trace", "", "mobility trace CSV (from tracegen); default synthetic waypoint")
 		coords   = flag.String("coords", "", "station coordinates CSV (required with -trace)")
+		stream   = flag.Bool("stream", false, "stream -trace through an O(Devices) mobility window instead of materializing the dense Steps×Devices schedule; requires -step-dur and a trace sorted by start time (tracegen -sort-time)")
+		stepDur  = flag.Int64("step-dur", 0, "trace-time units per FL step (0 = horizon/steps; required >0 with -stream, which cannot scan the horizon up front)")
 		edges    = flag.Int("edges", 0, "override edge count")
 		devices  = flag.Int("devices", 0, "override device count")
 		outPath  = flag.String("out", "", "write accuracy history CSV here (default stdout)")
@@ -99,19 +109,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var src mobility.StepSource = env.Schedule
 	if *tracePth != "" {
-		sched, err := scheduleFromTrace(*tracePth, *coords, cfg.Edges, cfg.Devices, cfg.Steps, *seed)
-		if err != nil {
-			return err
+		if *stream {
+			f, ts, err := streamFromTrace(*tracePth, *coords, cfg.Edges, cfg.Devices, cfg.Steps, *seed, *stepDur)
+			if err != nil {
+				return err
+			}
+			// The source scans the file lazily during the run; keep it
+			// open until the engine finishes.
+			defer f.Close() //machlint:allow errdrop read-only file; a close failure cannot corrupt anything
+			src = ts
+		} else {
+			sched, err := scheduleFromTrace(*tracePth, *coords, cfg.Edges, cfg.Devices, cfg.Steps, *seed, *stepDur)
+			if err != nil {
+				return err
+			}
+			src = sched
 		}
-		env.Schedule = sched
+	} else if *stream {
+		return fmt.Errorf("-stream requires -trace (synthetic presets already generate dense schedules)")
 	}
 
 	strat, err := cfg.NewStrategy(*strategy)
 	if err != nil {
 		return err
 	}
-	eng, err := hfl.New(cfg.HFLConfig(0), cfg.Arch(), env.DeviceData, env.Test, env.Schedule, strat)
+	eng, err := hfl.New(cfg.HFLConfig(0), cfg.Arch(), env.DeviceData, env.Test, src, strat)
 	if err != nil {
 		return err
 	}
@@ -184,21 +208,11 @@ func run() error {
 	return nil
 }
 
-// scheduleFromTrace builds the B^t schedule from a tracegen trace: parse the
-// records and station coordinates, cluster stations into edges, and map
-// record intervals onto FL time steps.
-func scheduleFromTrace(tracePath, coordsPath string, edges, devices, steps int, seed int64) (*mobility.Schedule, error) {
+// clusterFromCoords reads the station coordinates file and clusters stations
+// into edges, the shared front half of both trace-lowering paths.
+func clusterFromCoords(coordsPath string, edges int, seed int64) ([]int, error) {
 	if coordsPath == "" {
 		return nil, fmt.Errorf("-trace requires -coords (station positions for edge clustering)")
-	}
-	tf, err := os.Open(tracePath)
-	if err != nil {
-		return nil, fmt.Errorf("open trace: %w", err)
-	}
-	defer tf.Close() //machlint:allow errdrop read-only file; a close failure cannot corrupt anything
-	trace, err := mobility.ReadCSV(tf)
-	if err != nil {
-		return nil, err
 	}
 	cf, err := os.Open(coordsPath)
 	if err != nil {
@@ -209,17 +223,67 @@ func scheduleFromTrace(tracePath, coordsPath string, edges, devices, steps int, 
 	if err != nil {
 		return nil, err
 	}
-	rng := newSeededRand(seed)
-	edgeOf, err := mobility.ClusterStations(rng, stations, edges)
+	return mobility.ClusterStations(newSeededRand(seed), stations, edges)
+}
+
+// scheduleFromTrace builds the B^t schedule from a tracegen trace: parse the
+// records and station coordinates, cluster stations into edges, and map
+// record intervals onto FL time steps. stepDur <= 0 spreads the trace
+// horizon over the configured number of steps.
+func scheduleFromTrace(tracePath, coordsPath string, edges, devices, steps int, seed, stepDur int64) (*mobility.Schedule, error) {
+	edgeOf, err := clusterFromCoords(coordsPath, edges, seed)
 	if err != nil {
 		return nil, err
 	}
-	// Spread the trace horizon over the configured number of steps.
-	stepDur := trace.Horizon() / int64(steps)
-	if stepDur < 1 {
-		stepDur = 1
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		return nil, fmt.Errorf("open trace: %w", err)
+	}
+	defer tf.Close() //machlint:allow errdrop read-only file; a close failure cannot corrupt anything
+	trace, err := mobility.ReadCSV(tf)
+	if err != nil {
+		return nil, err
+	}
+	if stepDur <= 0 {
+		stepDur = trace.Horizon() / int64(steps)
+		if stepDur < 1 {
+			stepDur = 1
+		}
 	}
 	return mobility.BuildSchedule(trace, edgeOf, edges, devices, steps, stepDur)
+}
+
+// streamFromTrace opens the trace as a streaming StepSource: the engine pulls
+// per-step move deltas from an O(Devices) window while the file is scanned
+// exactly once. The caller owns the returned file for the engine's lifetime.
+// Streaming cannot derive the step duration from the trace horizon — that
+// would need the full scan the window exists to avoid — so -step-dur is
+// mandatory here.
+func streamFromTrace(tracePath, coordsPath string, edges, devices, steps int, seed, stepDur int64) (*os.File, *mobility.TraceSource, error) {
+	if stepDur <= 0 {
+		return nil, nil, fmt.Errorf("-stream requires -step-dur > 0 (the streaming window cannot pre-scan the trace horizon)")
+	}
+	edgeOf, err := clusterFromCoords(coordsPath, edges, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open trace: %w", err)
+	}
+	src, err := mobility.NewTraceSource(f, mobility.TraceSourceConfig{
+		Edges:         edges,
+		Devices:       devices,
+		Steps:         steps,
+		StepDur:       stepDur,
+		EdgeOfStation: edgeOf,
+		Format:        mobility.TraceCSV,
+	})
+	if err != nil {
+		f.Close() //machlint:allow errdrop read-only file; the open error is the one that matters
+		return nil, nil, err
+	}
+	return f, src, nil
 }
 
 func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -63,6 +63,8 @@ func run() error {
 		neighbors = flag.Int("neighbors", 4, "markov: hop candidates")
 		traceOut  = flag.String("trace", "", "trace CSV output path (default stdout)")
 		coordsOut = flag.String("coords", "", "station coordinates CSV output path")
+		sortTime  = flag.Bool("sort-time", false, "emit records in global start-time order, the layout machsim -stream requires")
+		ndjson    = flag.Bool("ndjson", false, "emit the trace as NDJSON records instead of CSV")
 	)
 	flag.Parse()
 
@@ -94,7 +96,14 @@ func run() error {
 		return err
 	}
 
-	if err := writeCSVTo(*traceOut, trace.WriteCSV); err != nil {
+	if *sortTime {
+		trace.SortByTime()
+	}
+	writeTrace := trace.WriteCSV
+	if *ndjson {
+		writeTrace = trace.WriteNDJSON
+	}
+	if err := writeCSVTo(*traceOut, writeTrace); err != nil {
 		return fmt.Errorf("write trace: %w", err)
 	}
 	if *coordsOut != "" {

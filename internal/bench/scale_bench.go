@@ -23,6 +23,16 @@ type ScaleCell struct {
 	// which at the million-device cell would be ~10^10 membership probes
 	// per step; the indexed and sharded rows still cross-check each other.
 	SkipNaive bool `json:"skip_naive,omitempty"`
+	// StreamOnly omits every dense-mobility row of the cell: only the
+	// streaming StepSource rows run. This is how the long-horizon headline
+	// cell stays feasible — a dense Schedule is Steps×Devices ints, which
+	// at 1M devices × 200 steps is ~1.6 GB of resident attachment matrix,
+	// while the streaming window holds O(Devices) regardless of horizon.
+	StreamOnly bool `json:"stream_only,omitempty"`
+	// Steps, when positive, overrides the config-level measured step count
+	// for this cell (warm-up is unchanged). Used by the long-horizon
+	// streaming cell, whose point is the horizon itself.
+	Steps int `json:"steps,omitempty"`
 }
 
 // ScaleConfig parameterizes `machbench -exp scale`: a sampling-only workload
@@ -78,6 +88,11 @@ func ScaleBenchPreset() ScaleConfig {
 			{Devices: 100_000, Edges: 1_000},
 			{Devices: 100_000, Edges: 3_000},
 			{Devices: 1_000_000, Edges: 10_000, SkipNaive: true},
+			// The long-horizon headline: 200 measured steps at the
+			// million-device shape. Dense mobility would need a
+			// ~1.6 GB schedule matrix for this cell; only the streaming
+			// O(Devices) window runs it.
+			{Devices: 1_000_000, Edges: 10_000, SkipNaive: true, StreamOnly: true, Steps: 200},
 		},
 		Steps:         30,
 		WarmupSteps:   5,
@@ -119,6 +134,9 @@ func (c ScaleConfig) Validate() error {
 		if cell.Devices <= 0 || cell.Edges <= 0 {
 			return fmt.Errorf("bench: scale cell %d devices × %d edges invalid", cell.Devices, cell.Edges)
 		}
+		if cell.Steps < 0 {
+			return fmt.Errorf("bench: scale cell %d×%d step override %d negative", cell.Devices, cell.Edges, cell.Steps)
+		}
 	}
 	for _, s := range c.Shards {
 		if s <= 0 {
@@ -144,6 +162,16 @@ type ScaleBenchRow struct {
 	// "sharded" (shard actors over range-scoped indexes with batched
 	// observation merge).
 	Mode string `json:"mode"`
+	// Mobility is "dense" (materialized Steps×Devices Schedule matrix) or
+	// "stream" (O(Devices) StepSource window advanced by move deltas). Both
+	// replay identical attachments — the harness enforces equal sampled
+	// counts across all rows of a cell, making this the dense-vs-streaming
+	// bit-identity gate.
+	Mobility string `json:"mobility"`
+	// MobilityResidentBytes is the heap held by the mobility plane alone —
+	// a GC'd HeapAlloc delta bracketing schedule/source construction. Dense
+	// rows grow with Steps×Devices; streaming rows stay O(Devices).
+	MobilityResidentBytes int64 `json:"mobility_resident_bytes"`
 	// Shards is the shard count of a "sharded" row (0 otherwise).
 	Shards        int     `json:"shards,omitempty"`
 	StepsMeasured int     `json:"steps_measured"`
@@ -228,13 +256,32 @@ type scaleDecideState struct {
 }
 
 // scaleEngine runs the sampling-only control plane over a synthetic Markov
-// schedule: per step it computes MACH probabilities for every edge, draws
-// the sampling coins in member order from per-edge coinRNG streams, and
+// mobility plane: per step it computes MACH probabilities for every edge,
+// draws the sampling coins in member order from per-edge coinRNG streams, and
 // feeds synthetic gradient norms of the sampled devices back into the
 // experience book. No models exist; everything measured is control plane.
+//
+// The mobility plane is a mobility.StepSource either way: streaming rows use
+// the MarkovSource window directly, dense rows Materialize the same source
+// into a Steps×Devices Schedule and walk it through the adapter. Both
+// trajectories are therefore identical, which is what lets the harness use
+// cross-mode sampled-count equality as the dense-vs-streaming bit-identity
+// gate.
 type scaleEngine struct {
-	cfg      ScaleConfig
-	sched    *mobility.Schedule
+	cfg   ScaleConfig
+	sched *mobility.Schedule // dense rows only; nil when streaming
+	src   mobility.StepSource
+
+	// Mobility window threaded into the member indexes, maintained by
+	// advance() exactly as hfl.Engine.advanceMobility does.
+	row         []int
+	srcPos      int
+	stepMoves   []mobility.Move
+	stepRebuilt bool
+	// mobilityBytes is the GC'd HeapAlloc delta around schedule/source
+	// construction: what the mobility plane alone keeps resident.
+	mobilityBytes int64
+
 	index    *mobility.MemberIndex
 	strat    *sampling.MACH
 	capacity float64
@@ -257,10 +304,37 @@ type scaleShard struct {
 	obsNorms  [][]float64 // subslices of normStore, built after all appends
 }
 
-func newScaleEngine(cfg ScaleConfig, cell ScaleCell, steps int) (*scaleEngine, error) {
-	sched, err := mobility.GenerateMarkovSchedule(cfg.Seed, cell.Edges, cell.Devices, steps, cfg.StayProb)
+func newScaleEngine(cfg ScaleConfig, cell ScaleCell, steps int, streaming bool) (*scaleEngine, error) {
+	// Bracket mobility-plane construction with GC'd MemStats snapshots so
+	// the row records what the schedule (dense) or window (streaming) alone
+	// keeps resident. The second GC also collects the drained MarkovSource
+	// in the dense case, leaving only the matrix in the delta.
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	var (
+		sched *mobility.Schedule
+		src   mobility.StepSource
+	)
+	ms, err := mobility.NewMarkovSource(cfg.Seed, cell.Edges, cell.Devices, steps, cfg.StayProb)
 	if err != nil {
 		return nil, err
+	}
+	if streaming {
+		src = ms
+	} else {
+		sched, err = mobility.Materialize(ms)
+		if err != nil {
+			return nil, err
+		}
+		src = sched
+		ms = nil
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&msAfter)
+	mobilityBytes := int64(msAfter.HeapAlloc) - int64(msBefore.HeapAlloc)
+	if mobilityBytes < 0 {
+		mobilityBytes = 0
 	}
 	strat, err := sampling.NewMACH(cell.Devices, sampling.DefaultMACHConfig())
 	if err != nil {
@@ -280,12 +354,16 @@ func newScaleEngine(cfg ScaleConfig, cell ScaleCell, steps int) (*scaleEngine, e
 	}
 	strat.CloudRound(0)
 	eng := &scaleEngine{
-		cfg:      cfg,
-		sched:    sched,
-		index:    mobility.NewMemberIndex(sched),
-		strat:    strat,
-		capacity: cfg.Participation * float64(cell.Devices) / float64(cell.Edges),
-		decide:   make([]scaleDecideState, cell.Edges),
+		cfg:           cfg,
+		sched:         sched,
+		src:           src,
+		row:           make([]int, cell.Devices),
+		srcPos:        -1,
+		mobilityBytes: mobilityBytes,
+		index:         mobility.NewMemberIndexWindow(0, cell.Edges),
+		strat:         strat,
+		capacity:      cfg.Participation * float64(cell.Devices) / float64(cell.Edges),
+		decide:        make([]scaleDecideState, cell.Edges),
 	}
 	// Pre-size per-edge buffers past any member count the drift will
 	// plausibly reach (binomial mean + 8σ), so the measured window never
@@ -300,11 +378,37 @@ func newScaleEngine(cfg ScaleConfig, cell ScaleCell, steps int) (*scaleEngine, e
 	return eng, nil
 }
 
+// advance positions the engine's mobility window at step t: it pulls the
+// step's move stream from the StepSource, maintains the O(Devices)
+// attachment row, and leaves (stepMoves, stepRebuilt) for the member
+// indexes' AdvanceWith repair. Mirrors hfl.Engine.advanceMobility at bench
+// scale. Called once per step from the driver goroutine, before any shard
+// reads the window.
+func (e *scaleEngine) advance(t int) {
+	if t == e.srcPos {
+		return
+	}
+	moves, rebuilt, err := e.src.AdvanceTo(t)
+	if err != nil {
+		// The harness always advances forward within the generated
+		// horizon; an error here is a programming bug, not an input.
+		panic(fmt.Sprintf("bench: scale mobility at step %d: %v", t, err))
+	}
+	if rebuilt || e.srcPos < 0 {
+		e.row = e.src.Snapshot(e.row)
+		rebuilt = true
+	} else {
+		mobility.ApplyMoves(e.row, moves)
+	}
+	e.stepMoves, e.stepRebuilt = moves, rebuilt
+	e.srcPos = t
+}
+
 // buildShards splits the engine's edges into `shards` contiguous ranges,
-// each with its own range-scoped member index. Called once per sharded
+// each with its own range-scoped window index. Called once per sharded
 // measurement; the monolithic index stays unused in that mode.
 func (e *scaleEngine) buildShards(shards int) {
-	edges := e.sched.Edges
+	edges := len(e.decide)
 	if shards > edges {
 		shards = edges
 	}
@@ -314,7 +418,7 @@ func (e *scaleEngine) buildShards(shards int) {
 		e.shards[s] = &scaleShard{
 			lo:    lo,
 			hi:    hi,
-			index: mobility.NewMemberIndexRange(e.sched, lo, hi),
+			index: mobility.NewMemberIndexWindow(lo, hi),
 		}
 	}
 }
@@ -328,6 +432,11 @@ func (e *scaleEngine) buildShards(shards int) {
 // edge per step, so deferring its observation to the barrier cannot change
 // any same-step decision — sampled counts match the indexed mode exactly.
 func (e *scaleEngine) stepSharded(t int) int64 {
+	// The driver advances the shared mobility window once; the shard
+	// goroutines then repair their range indexes from the read-only move
+	// stream. Each shard scans the full stream but touches only members in
+	// its own range — O(moves) scan, O(own moves) mutation.
+	e.advance(t)
 	var wg sync.WaitGroup
 	wg.Add(len(e.shards))
 	for _, sh := range e.shards {
@@ -337,7 +446,7 @@ func (e *scaleEngine) stepSharded(t int) int64 {
 			sh.obsEdges = sh.obsEdges[:0]
 			sh.obsDevs = sh.obsDevs[:0]
 			sh.normStore = sh.normStore[:0]
-			sh.index.Advance(t)
+			sh.index.AdvanceWith(t, e.row, e.stepMoves, e.stepRebuilt)
 			for n := sh.lo; n < sh.hi; n++ {
 				st := &e.decide[n]
 				members := sh.index.Members(n)
@@ -384,7 +493,8 @@ func (e *scaleEngine) stepSharded(t int) int64 {
 // in-place probabilities. Draw order within an edge is serial and identical
 // to stepNaive, so the sampled sets match bit for bit.
 func (e *scaleEngine) stepIndexed(t, workers int) int64 {
-	e.index.Advance(t)
+	e.advance(t)
+	e.index.AdvanceWith(t, e.row, e.stepMoves, e.stepRebuilt)
 	parallel.ForEach(workers, len(e.decide), func(n int) {
 		st := &e.decide[n]
 		st.sampled = 0
@@ -418,7 +528,9 @@ func (e *scaleEngine) stepIndexed(t, workers int) int64 {
 // stepNaive replays the pre-index control plane's structure: a serial loop
 // over edges, a full MembersAt rescan per edge, a freshly allocated context,
 // an allocating Probabilities call, and per-observation slice allocation. It
-// is the baseline row of BENCH_scale.json. (The coin stream is the same
+// is the baseline row of BENCH_scale.json and requires the dense schedule —
+// MembersAt is exactly the random-access rescan streaming eliminates, so
+// naive rows only exist in dense mobility mode. (The coin stream is the same
 // cheap coinRNG the indexed mode uses — see its doc comment.)
 func (e *scaleEngine) stepNaive(t int) int64 {
 	total := int64(0)
@@ -453,12 +565,13 @@ func (e *scaleEngine) cloudRound(t int) {
 	}
 }
 
-// measureScaleCell runs one (cell, mode) measurement: warm-up steps grow
-// every pooled buffer, then the measured window is timed between two
-// MemStats snapshots. shards is consulted only by the "sharded" mode.
-func measureScaleCell(cfg ScaleConfig, cell ScaleCell, mode string, shards int) (ScaleBenchRow, int64, error) {
+// measureScaleCell runs one (cell, mode, mobility) measurement: warm-up
+// steps grow every pooled buffer, then the measured window is timed between
+// two MemStats snapshots. shards is consulted only by the "sharded" mode;
+// mob is "dense" or "stream" and selects the mobility plane.
+func measureScaleCell(cfg ScaleConfig, cell ScaleCell, mode, mob string, shards int) (ScaleBenchRow, int64, error) {
 	totalSteps := cfg.WarmupSteps + cfg.Steps
-	eng, err := newScaleEngine(cfg, cell, totalSteps)
+	eng, err := newScaleEngine(cfg, cell, totalSteps, mob == "stream")
 	if err != nil {
 		return ScaleBenchRow{}, 0, err
 	}
@@ -490,27 +603,32 @@ func measureScaleCell(cfg ScaleConfig, cell ScaleCell, mode string, shards int) 
 	wall := telemetry.WallSince(start)
 	runtime.ReadMemStats(&after)
 	row := ScaleBenchRow{
-		Devices:             cell.Devices,
-		Edges:               cell.Edges,
-		Mode:                mode,
-		Shards:              len(eng.shards),
-		StepsMeasured:       cfg.Steps,
-		WallNs:              wall.Nanoseconds(),
-		StepsPerSec:         float64(cfg.Steps) / wall.Seconds(),
-		NsPerDeviceDecision: float64(wall.Nanoseconds()) / (float64(cfg.Steps) * float64(cell.Devices)),
-		AllocsPerStep:       float64(after.Mallocs-before.Mallocs) / float64(cfg.Steps),
-		BytesPerStep:        float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Steps),
-		SampledPerStep:      float64(sampled) / float64(cfg.Steps),
+		Devices:               cell.Devices,
+		Edges:                 cell.Edges,
+		Mode:                  mode,
+		Mobility:              mob,
+		MobilityResidentBytes: eng.mobilityBytes,
+		Shards:                len(eng.shards),
+		StepsMeasured:         cfg.Steps,
+		WallNs:                wall.Nanoseconds(),
+		StepsPerSec:           float64(cfg.Steps) / wall.Seconds(),
+		NsPerDeviceDecision:   float64(wall.Nanoseconds()) / (float64(cfg.Steps) * float64(cell.Devices)),
+		AllocsPerStep:         float64(after.Mallocs-before.Mallocs) / float64(cfg.Steps),
+		BytesPerStep:          float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.Steps),
+		SampledPerStep:        float64(sampled) / float64(cfg.Steps),
 	}
 	return row, sampled, nil
 }
 
-// RunScaleBench measures every cell in every mode: naive (unless the cell
-// skips it), indexed, and one sharded row per configured shard count.
+// RunScaleBench measures every cell in every mode: naive over the dense
+// schedule (unless the cell skips it), indexed over dense and streaming
+// mobility, and one streaming sharded row per configured shard count.
 // Beyond timing, it is an end-to-end determinism check: all modes of a cell
 // must sample exactly the same number of devices in the measured window,
-// since they replay the same per-edge coin streams over the same schedule
-// and observation deferral cannot reach a same-step decision.
+// since they replay the same per-edge coin streams over the same
+// attachments — the dense rows materialize the very MarkovSource the
+// streaming rows consume, so the cross-mode equality doubles as the
+// streaming-vs-dense bit-identity gate.
 func RunScaleBench(cfg ScaleConfig) (*ScaleBenchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -523,6 +641,11 @@ func RunScaleBench(cfg ScaleConfig) (*ScaleBenchResult, error) {
 		Config:     cfg,
 	}
 	for _, cell := range cfg.Cells {
+		// A cell-level step override changes only this cell's horizon.
+		ccfg := cfg
+		if cell.Steps > 0 {
+			ccfg.Steps = cell.Steps
+		}
 		refSampled, haveRef := int64(0), false
 		check := func(mode string, sampled int64) error {
 			if !haveRef {
@@ -536,12 +659,12 @@ func RunScaleBench(cfg ScaleConfig) (*ScaleBenchResult, error) {
 			return nil
 		}
 		naiveNs := 0.0
-		if !cell.SkipNaive {
-			naive, sampled, err := measureScaleCell(cfg, cell, "naive", 0)
+		if !cell.SkipNaive && !cell.StreamOnly {
+			naive, sampled, err := measureScaleCell(ccfg, cell, "naive", "dense", 0)
 			if err != nil {
 				return nil, fmt.Errorf("bench: scale %d×%d naive: %w", cell.Devices, cell.Edges, err)
 			}
-			if err := check("naive", sampled); err != nil {
+			if err := check("naive/dense", sampled); err != nil {
 				return nil, err
 			}
 			naive.SpeedupVsNaive = 1
@@ -553,21 +676,27 @@ func RunScaleBench(cfg ScaleConfig) (*ScaleBenchResult, error) {
 				row.SpeedupVsNaive = naiveNs / row.NsPerDeviceDecision
 			}
 		}
-		indexed, sampled, err := measureScaleCell(cfg, cell, "indexed", 0)
-		if err != nil {
-			return nil, fmt.Errorf("bench: scale %d×%d indexed: %w", cell.Devices, cell.Edges, err)
+		mobilities := []string{"dense", "stream"}
+		if cell.StreamOnly {
+			mobilities = []string{"stream"}
 		}
-		if err := check("indexed", sampled); err != nil {
-			return nil, err
+		for _, mob := range mobilities {
+			indexed, sampled, err := measureScaleCell(ccfg, cell, "indexed", mob, 0)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scale %d×%d indexed/%s: %w", cell.Devices, cell.Edges, mob, err)
+			}
+			if err := check("indexed/"+mob, sampled); err != nil {
+				return nil, err
+			}
+			speedup(&indexed)
+			res.Rows = append(res.Rows, indexed)
 		}
-		speedup(&indexed)
-		res.Rows = append(res.Rows, indexed)
 		for _, shards := range cfg.Shards {
-			row, sampled, err := measureScaleCell(cfg, cell, "sharded", shards)
+			row, sampled, err := measureScaleCell(ccfg, cell, "sharded", "stream", shards)
 			if err != nil {
 				return nil, fmt.Errorf("bench: scale %d×%d sharded/%d: %w", cell.Devices, cell.Edges, shards, err)
 			}
-			if err := check(fmt.Sprintf("sharded/%d", shards), sampled); err != nil {
+			if err := check(fmt.Sprintf("sharded/%d/stream", shards), sampled); err != nil {
 				return nil, err
 			}
 			speedup(&row)
@@ -595,8 +724,8 @@ func RenderScaleBench(w io.Writer, r *ScaleBenchResult) error {
 		r.Config.Participation, r.Config.workers()); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%9s %6s %8s %10s %12s %13s %14s %12s %9s\n",
-		"devices", "edges", "mode", "steps/s", "ns/dev-dec", "allocs/step", "bytes/step", "sampled/step", "speedup"); err != nil {
+	if _, err := fmt.Fprintf(w, "%9s %6s %8s %7s %6s %10s %10s %12s %13s %14s %12s %9s\n",
+		"devices", "edges", "mode", "mob", "steps", "mob-bytes", "steps/s", "ns/dev-dec", "allocs/step", "bytes/step", "sampled/step", "speedup"); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
@@ -604,11 +733,26 @@ func RenderScaleBench(w io.Writer, r *ScaleBenchResult) error {
 		if row.Shards > 0 {
 			mode = fmt.Sprintf("shard%d", row.Shards)
 		}
-		if _, err := fmt.Fprintf(w, "%9d %6d %8s %10.1f %12.1f %13.1f %14.0f %12.1f %8.1fx\n",
-			row.Devices, row.Edges, mode, row.StepsPerSec, row.NsPerDeviceDecision,
+		if _, err := fmt.Fprintf(w, "%9d %6d %8s %7s %6d %10s %10.1f %12.1f %13.1f %14.0f %12.1f %8.1fx\n",
+			row.Devices, row.Edges, mode, row.Mobility, row.StepsMeasured,
+			formatBytes(row.MobilityResidentBytes), row.StepsPerSec, row.NsPerDeviceDecision,
 			row.AllocsPerStep, row.BytesPerStep, row.SampledPerStep, row.SpeedupVsNaive); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// formatBytes renders a byte count with a binary-prefix unit for the table.
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }

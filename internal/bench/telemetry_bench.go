@@ -130,7 +130,8 @@ type telemetryTraceBuf struct {
 // same zero-overhead path as stepIndexed.
 func stepTelemetry(e *scaleEngine, bufs []telemetryTraceBuf, tel *telemetry.Telemetry, t, workers int) int64 {
 	stepStart := tel.Now()
-	e.index.Advance(t)
+	e.advance(t)
+	e.index.AdvanceWith(t, e.row, e.stepMoves, e.stepRebuilt)
 	decideStart := tel.Now()
 	tr := tel.Trace()
 	parallel.ForEach(workers, len(e.decide), func(n int) {
@@ -217,7 +218,7 @@ func measureTelemetryMode(cfg TelemetryBenchConfig, mode string) (TelemetryBench
 	scfg := cfg.scaleConfig()
 	cell := scfg.Cells[0]
 	totalSteps := cfg.WarmupSteps + cfg.Steps
-	eng, err := newScaleEngine(scfg, cell, totalSteps)
+	eng, err := newScaleEngine(scfg, cell, totalSteps, false)
 	if err != nil {
 		return TelemetryBenchRow{}, 0, err
 	}

@@ -48,15 +48,22 @@ func (c CloudConfig) Validate() error {
 	return c.Codec.Validate()
 }
 
-// Cloud is the coordinator: it owns the mobility schedule, drives time
-// steps across edge servers, aggregates edge models every T_g steps and
+// Cloud is the coordinator: it owns the mobility plane, drives time steps
+// across edge servers, aggregates edge models every T_g steps and
 // redistributes the global model (Eq. 6).
 type Cloud struct {
-	cfg      CloudConfig
-	schedule *mobility.Schedule
-	// memberIndex materializes every edge's member set once per step
-	// (O(Devices+Edges), delta-updated between consecutive steps) instead of
-	// rescanning the schedule per edge.
+	cfg CloudConfig
+	// src feeds the mobility plane as a per-step move stream (DESIGN.md
+	// §12): a dense *mobility.Schedule via its adapter or a true streaming
+	// source. The cloud keeps only the O(Devices) window below.
+	src      mobility.StepSource
+	nEdges   int
+	nDevices int
+	row      []int // device→edge attachments at step srcPos
+	srcPos   int   // positioned step, -1 before the first advance
+	// memberIndex materializes every edge's member set once per step,
+	// repaired from the move stream between consecutive steps instead of
+	// rescanning rows.
 	memberIndex *mobility.MemberIndex
 	test        *dataset.Dataset
 	evalNet     *nn.Network
@@ -91,18 +98,25 @@ func (c *Cloud) SetTelemetry(t *telemetry.Telemetry) { c.tel = t }
 // NewCloud dials the edge servers and device hosts and initializes the
 // global model from arch. Every connection counts its wire bytes into the
 // cloud's communication counters (CommStats).
-func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, schedule *mobility.Schedule, test *dataset.Dataset, edgeAddrs, deviceHostAddrs []string) (*Cloud, error) {
+func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, src mobility.StepSource, test *dataset.Dataset, edgeAddrs, deviceHostAddrs []string) (*Cloud, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if schedule == nil || schedule.Validate() != nil {
+	if src == nil {
 		return nil, fmt.Errorf("fed: cloud needs a valid schedule")
 	}
-	if len(edgeAddrs) != schedule.Edges {
-		return nil, fmt.Errorf("fed: %d edge addresses for %d scheduled edges", len(edgeAddrs), schedule.Edges)
+	if s, ok := src.(*mobility.Schedule); ok && (s == nil || s.Validate() != nil) {
+		return nil, fmt.Errorf("fed: cloud needs a valid schedule")
 	}
-	if schedule.Steps < cfg.Steps {
-		return nil, fmt.Errorf("fed: schedule covers %d steps, config needs %d", schedule.Steps, cfg.Steps)
+	nEdges, nDevices, nSteps := src.Dims()
+	if nEdges <= 0 || nDevices <= 0 || nSteps <= 0 {
+		return nil, fmt.Errorf("fed: cloud needs a valid schedule")
+	}
+	if len(edgeAddrs) != nEdges {
+		return nil, fmt.Errorf("fed: %d edge addresses for %d scheduled edges", len(edgeAddrs), nEdges)
+	}
+	if nSteps < cfg.Steps {
+		return nil, fmt.Errorf("fed: schedule covers %d steps, config needs %d", nSteps, cfg.Steps)
 	}
 	if test == nil || test.Len() == 0 {
 		return nil, fmt.Errorf("fed: cloud needs a test set")
@@ -114,8 +128,12 @@ func NewCloud(cfg CloudConfig, arch hfl.ArchFunc, schedule *mobility.Schedule, t
 	}
 	c := &Cloud{
 		cfg:         cfg,
-		schedule:    schedule,
-		memberIndex: mobility.NewMemberIndex(schedule),
+		src:         src,
+		nEdges:      nEdges,
+		nDevices:    nDevices,
+		row:         make([]int, nDevices),
+		srcPos:      -1,
+		memberIndex: mobility.NewMemberIndexWindow(0, nEdges),
 		test:        test,
 		evalNet:     net0,
 		global:      net0.ParamVector(),
@@ -183,10 +201,10 @@ func (c *Cloud) CommStats() (hfl.CommStats, error) {
 // accuracy history.
 func (c *Cloud) Run() (*metrics.History, error) {
 	hist := &metrics.History{}
-	capacity := c.cfg.Participation * float64(c.schedule.Devices) / float64(c.schedule.Edges)
+	capacity := c.cfg.Participation * float64(c.nDevices) / float64(c.nEdges)
 	raw := c.cfg.Codec == codec.SchemeRaw
 	resetParams := true // first step seeds every edge with the global model
-	edgeParams := make([][]float64, c.schedule.Edges)
+	edgeParams := make([][]float64, c.nEdges)
 
 	prevComm := c.comm.Load()
 	for t := 0; t < c.cfg.Steps; t++ {
@@ -201,12 +219,14 @@ func (c *Cloud) Run() (*metrics.History, error) {
 				return nil, fmt.Errorf("fed: step %d encode global: %w", t, err)
 			}
 		}
-		// The index's member slices stay valid until the next Advance, which
+		// The index's member slices stay valid until the next advance, which
 		// happens strictly after wg.Wait — net/rpc encodes args inside each
 		// goroutine — so they are safe to hand to the RPC layer uncopied.
-		c.memberIndex.Advance(t)
+		if err := c.advanceMobility(t); err != nil {
+			return nil, fmt.Errorf("fed: step %d: %w", t, err)
+		}
 		var wg sync.WaitGroup
-		errs := make([]error, c.schedule.Edges)
+		errs := make([]error, c.nEdges)
 		for n := range c.edges {
 			wg.Add(1)
 			go func(n int) {
@@ -344,11 +364,33 @@ func (c *Cloud) decodeEdgeModel(blob codec.Blob) ([]float64, error) {
 	return codec.Decode(blob, baseline)
 }
 
-// aggregate merges edge models with the member-count weights of Eq. (6).
+// advanceMobility positions the cloud's mobility window at step t: it
+// advances the source, maintains the attachment row, and repairs the member
+// index from the move stream. Advancing to the current position is a no-op.
+func (c *Cloud) advanceMobility(t int) error {
+	if t == c.srcPos {
+		return nil
+	}
+	moves, rebuilt, err := c.src.AdvanceTo(t)
+	if err != nil {
+		return fmt.Errorf("mobility source: %w", err)
+	}
+	if rebuilt || c.srcPos < 0 {
+		c.row = c.src.Snapshot(c.row)
+		rebuilt = true
+	} else {
+		mobility.ApplyMoves(c.row, moves)
+	}
+	c.memberIndex.AdvanceWith(t, c.row, moves, rebuilt)
+	c.srcPos = t
+	return nil
+}
+
+// aggregate merges edge models with the member-count weights of Eq. (6). Run
+// has already positioned the member index at t by the time it aggregates.
 func (c *Cloud) aggregate(t int, edgeParams [][]float64) {
-	c.memberIndex.Advance(t) // no-op inside Run, which already advanced to t
 	total := 0
-	counts := make([]int, c.schedule.Edges)
+	counts := make([]int, c.nEdges)
 	for n := range counts {
 		counts[n] = c.memberIndex.Count(n)
 		total += counts[n]

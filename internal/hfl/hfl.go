@@ -321,7 +321,6 @@ type device struct {
 type Engine struct {
 	cfg      Config
 	arch     ArchFunc
-	schedule *mobility.Schedule
 	strategy sampling.Strategy
 	inplace  sampling.InPlaceStrategy // strategy's fast path, when implemented
 	observer sampling.Observer        // strategy's Observer side, when implemented
@@ -341,6 +340,23 @@ type Engine struct {
 	estInScratch bool
 	probFloor    float64
 	hasProbFloor bool
+
+	// Streaming mobility plane (DESIGN.md §12): the engine positions itself
+	// from a StepSource — a dense *Schedule via its adapter, or a true
+	// streaming source — keeping only an O(Devices + Shards) window: the
+	// current attachment row, the per-shard move buckets of the step, and
+	// the positioned step. nEdges/nDevices/nSteps cache the source's Dims.
+	src         mobility.StepSource
+	nEdges      int
+	nDevices    int
+	nSteps      int
+	row         []int             // device→edge attachments at step srcPos
+	srcPos      int               // positioned step, -1 before the first advance
+	stepRebuilt bool              // last advance resynced from Snapshot
+	shardMoves  [][]mobility.Move // per-shard buckets of the step's moves
+	// transStats, when attached, folds the engine's move stream into an
+	// incremental edge-transition model (observational only).
+	transStats *mobility.OnlineTransitionStats
 
 	global   []float64   // cloud model parameters w^t
 	edge     [][]float64 // edge model parameters w^t_n
@@ -416,23 +432,34 @@ type evalShardState struct {
 }
 
 // New assembles an engine. deviceData holds one local dataset per device and
-// must match the schedule's device count; test is the held-out global test
-// set.
-func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset.Dataset, schedule *mobility.Schedule, strategy sampling.Strategy) (*Engine, error) {
+// must match the mobility source's device count; test is the held-out global
+// test set. src may be a dense *mobility.Schedule (its StepSource adapter
+// replays the matrix) or a true streaming source — runs are bit-identical
+// between a source and its Materialize'd twin.
+func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset.Dataset, src mobility.StepSource, strategy sampling.Strategy) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if schedule == nil {
+	if src == nil {
 		return nil, fmt.Errorf("hfl: nil schedule")
 	}
-	if err := schedule.Validate(); err != nil {
-		return nil, fmt.Errorf("hfl: invalid schedule: %w", err)
+	if s, ok := src.(*mobility.Schedule); ok {
+		if s == nil {
+			return nil, fmt.Errorf("hfl: nil schedule")
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("hfl: invalid schedule: %w", err)
+		}
 	}
-	if len(deviceData) != schedule.Devices {
-		return nil, fmt.Errorf("hfl: %d device datasets for %d scheduled devices", len(deviceData), schedule.Devices)
+	nEdges, nDevices, nSteps := src.Dims()
+	if nEdges <= 0 || nDevices <= 0 || nSteps <= 0 {
+		return nil, fmt.Errorf("hfl: mobility source dims %d/%d/%d must be positive", nEdges, nDevices, nSteps)
 	}
-	if schedule.Steps < cfg.Steps {
-		return nil, fmt.Errorf("hfl: schedule covers %d steps, config needs %d", schedule.Steps, cfg.Steps)
+	if len(deviceData) != nDevices {
+		return nil, fmt.Errorf("hfl: %d device datasets for %d scheduled devices", len(deviceData), nDevices)
+	}
+	if nSteps < cfg.Steps {
+		return nil, fmt.Errorf("hfl: schedule covers %d steps, config needs %d", nSteps, cfg.Steps)
 	}
 	if test == nil || test.Len() == 0 {
 		return nil, fmt.Errorf("hfl: empty test set")
@@ -454,17 +481,22 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 		}
 	}
 	e := &Engine{
-		cfg:         cfg,
-		arch:        arch,
-		schedule:    schedule,
-		strategy:    strategy,
-		devices:     make([]*device, len(deviceData)),
-		test:        test,
-		global:      base.ParamVector(),
-		evalNet:     base,
-		probeNet:    base.Clone(),
-		probeOpt:    nn.NewSGD(0),
-		capacity: cfg.Participation * float64(schedule.Devices) / float64(schedule.Edges),
+		cfg:      cfg,
+		arch:     arch,
+		src:      src,
+		nEdges:   nEdges,
+		nDevices: nDevices,
+		nSteps:   nSteps,
+		row:      make([]int, nDevices),
+		srcPos:   -1,
+		strategy: strategy,
+		devices:  make([]*device, len(deviceData)),
+		test:     test,
+		global:   base.ParamVector(),
+		evalNet:  base,
+		probeNet: base.Clone(),
+		probeOpt: nn.NewSGD(0),
+		capacity: cfg.Participation * float64(nDevices) / float64(nEdges),
 	}
 	if obs, ok := strategy.(sampling.Observer); ok {
 		e.observer = obs
@@ -497,22 +529,23 @@ func New(cfg Config, arch ArchFunc, deviceData []*dataset.Dataset, test *dataset
 			dist:  data.ClassDistribution(),
 		}
 	}
-	e.edge = make([][]float64, schedule.Edges)
+	e.edge = make([][]float64, nEdges)
 	for n := range e.edge {
 		e.edge[n] = append([]float64(nil), e.global...)
 	}
-	e.plans = make([]edgePlan, schedule.Edges)
-	e.decide = make([]edgeDecideState, schedule.Edges)
-	e.aggNext = make([][]float64, schedule.Edges)
+	e.plans = make([]edgePlan, nEdges)
+	e.decide = make([]edgeDecideState, nEdges)
+	e.aggNext = make([][]float64, nEdges)
 	if cfg.FuseBatch {
-		e.fused = make([]fusedEdgeState, schedule.Edges)
+		e.fused = make([]fusedEdgeState, nEdges)
 	}
-	e.groups = cloudGroups(schedule.Edges)
+	e.groups = cloudGroups(nEdges)
 	e.groupCounts = make([]int, e.groups)
-	e.cloudCounts = make([]int, schedule.Edges)
+	e.cloudCounts = make([]int, nEdges)
 	shards := cfg.shardCount(e.groups)
 	e.shards = make([]*shardState, shards)
-	e.edgeShard = make([]int, schedule.Edges)
+	e.shardMoves = make([][]mobility.Move, shards)
+	e.edgeShard = make([]int, nEdges)
 	for s := range e.shards {
 		e.shards[s] = newShardState(e, s, shards)
 		for n := e.shards[s].lo; n < e.shards[s].hi; n++ {

@@ -140,8 +140,8 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 	tr.Emit(&telemetry.Event{Type: telemetry.EventRun, Run: &telemetry.RunEvent{
 		Strategy: e.strategy.Name(),
 		Seed:     e.cfg.Seed,
-		Devices:  e.schedule.Devices,
-		Edges:    e.schedule.Edges,
+		Devices:  e.nDevices,
+		Edges:    e.nEdges,
 		Steps:    e.cfg.Steps,
 		Capacity: e.capacity,
 		Every:    tr.Config().Every,
@@ -164,6 +164,12 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 		// boundary mid-step, so the cross-shard interleaving cannot reach a
 		// value (DESIGN.md §11).
 		stepStart := e.tel.Now()
+		// One mobility advance per step, on the engine goroutine: the shards
+		// then repair their member indexes from the bucketed move stream
+		// (read-only to them) inside the step command.
+		if err := e.advanceMobility(t); err != nil {
+			return nil, fmt.Errorf("hfl: step %d: %w", t, err)
+		}
 		e.submitAll(shardCmd{op: opStep, t: t})
 		if err := e.collectStep(t); err != nil {
 			return nil, err
@@ -205,8 +211,8 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 		if cloudRound {
 			e.cloudAggregate(t)
 			// Every edge uploads its model and downloads the new global.
-			res.Comm.CloudBytes += 2 * int64(e.schedule.Edges) * modelBytes
-			res.Comm.CloudTransfers += 2 * int64(e.schedule.Edges)
+			res.Comm.CloudBytes += 2 * int64(e.nEdges) * modelBytes
+			res.Comm.CloudTransfers += 2 * int64(e.nEdges)
 			if e.observer != nil {
 				e.observer.CloudRound(t + 1)
 			}
@@ -217,7 +223,7 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			}
 			if e.tel != nil {
 				e.tel.Add(telemetry.CounterCloudRounds, 1)
-				e.tel.Add(telemetry.CounterCloudBytes, 2*int64(e.schedule.Edges)*modelBytes)
+				e.tel.Add(telemetry.CounterCloudBytes, 2*int64(e.nEdges)*modelBytes)
 				if e.inspector != nil {
 					s := e.inspector.EstimatorStats()
 					e.tel.SetGauge(telemetry.GaugeNeverPulled, float64(s.NeverPulled))
@@ -592,12 +598,12 @@ func (e *Engine) aggregateEdge(n int, results []localResult, unbiased bool) {
 // Like edge aggregation it double-buffers the global vector, so cloud
 // rounds stop allocating after the first.
 func (e *Engine) cloudAggregate(t int) {
-	// Within Run every shard index is already positioned at t (the step
-	// command advanced it); direct callers (tests) get the same counts via
-	// an explicit Advance.
+	// Within Run the mobility window and every shard index are already
+	// positioned at t (the step protocol advanced them), so this degenerates
+	// to no-ops; direct callers (tests) get the same counts on demand.
+	e.positionMobility(t)
 	total := 0
 	for _, s := range e.shards {
-		s.index.Advance(t)
 		for n := s.lo; n < s.hi; n++ {
 			e.cloudCounts[n] = s.index.Count(n)
 			total += e.cloudCounts[n]
@@ -605,7 +611,7 @@ func (e *Engine) cloudAggregate(t int) {
 	}
 	for g := 0; g < e.groups; g++ {
 		sum := 0
-		for n := groupEdgeLo(e.schedule.Edges, e.groups, g); n < groupEdgeLo(e.schedule.Edges, e.groups, g+1); n++ {
+		for n := groupEdgeLo(e.nEdges, e.groups, g); n < groupEdgeLo(e.nEdges, e.groups, g+1); n++ {
 			sum += e.cloudCounts[n]
 		}
 		e.groupCounts[g] = sum

@@ -128,7 +128,7 @@ type shardState struct {
 // newShardState builds shard id of S covering groups [G·id/S, G·(id+1)/S)
 // and their edges.
 func newShardState(e *Engine, id, shards int) *shardState {
-	edges := e.schedule.Edges
+	edges := e.nEdges
 	groups := cloudGroups(edges)
 	gLo, gHi := groups*id/shards, groups*(id+1)/shards
 	lo, hi := groupEdgeLo(edges, groups, gLo), groupEdgeLo(edges, groups, gHi)
@@ -139,7 +139,7 @@ func newShardState(e *Engine, id, shards int) *shardState {
 		hi:       hi,
 		gLo:      gLo,
 		gHi:      gHi,
-		index:    mobility.NewMemberIndexRange(e.schedule, lo, hi),
+		index:    mobility.NewMemberIndexWindow(lo, hi),
 		counts:   make([]edgeStepCounts, hi-lo),
 		partials: make([][]float64, gHi-gLo),
 	}
@@ -226,7 +226,12 @@ func (s *shardState) step(t int) {
 	s.obsDevs = s.obsDevs[:0]
 	s.obsNorms = s.obsNorms[:0]
 	s.queueDepth = 0
-	s.index.Advance(t)
+	// Repair the range index from the engine's move stream: only the moves
+	// bucketed for this shard (those touching [lo, hi)) are replayed, so the
+	// per-shard positioning cost is O(own moves), not a row-vs-row diff. The
+	// row, bucket and rebuilt flag were written before the step was
+	// submitted and are read-only until the barrier.
+	s.index.AdvanceWith(t, e.row, e.shardMoves[s.id], e.stepRebuilt)
 	for n := s.lo; n < s.hi; n++ {
 		if err := e.edgeDecide(t, n); err != nil && s.decideErr == nil {
 			s.decideErrEdge, s.decideErr = n, err
@@ -274,7 +279,7 @@ func (s *shardState) step(t int) {
 // order within the group. Zero-count edges are skipped exactly as the
 // monolithic fold skipped them.
 func (s *shardState) cloudPartials(total float64) {
-	edges, groups := s.e.schedule.Edges, s.e.groups
+	edges, groups := s.e.nEdges, s.e.groups
 	for g := s.gLo; g < s.gHi; g++ {
 		dst := s.partials[g-s.gLo]
 		for j := range dst {

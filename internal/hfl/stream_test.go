@@ -1,0 +1,146 @@
+package hfl
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/mobility"
+	"github.com/mach-fl/mach/internal/sampling"
+)
+
+// streamSetup builds the tiny experiment over a streaming MarkovSource plus
+// its materialized dense twin — identical attachments by construction, so a
+// run over either plane must be bit-identical.
+func streamSetup(t *testing.T) (mkSrc func() *mobility.MarkovSource, dense *mobility.Schedule) {
+	t.Helper()
+	const edges, devices, steps = 3, 12, 12
+	mkSrc = func() *mobility.MarkovSource {
+		src, err := mobility.NewMarkovSource(33, edges, devices, steps, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	dense, err := mobility.Materialize(mkSrc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.TransitionRate() == 0 {
+		t.Fatal("twin schedule never moves a device; test exercises nothing")
+	}
+	return mkSrc, dense
+}
+
+// runStreamConfig runs the tiny experiment over the given mobility source
+// with the given worker and shard counts.
+func runStreamConfig(t *testing.T, src mobility.StepSource, workers, shards int, stats *mobility.OnlineTransitionStats) (*Result, []float64) {
+	t.Helper()
+	parts, test, _ := tinySetup(t, 12, 3, 12, 21)
+	cfg := tinyConfig(12, 21)
+	cfg.Workers = workers
+	cfg.Shards = shards
+	s, err := sampling.NewMACH(12, sampling.DefaultMACHConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cfg, tinyArch, parts, test, src, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != nil {
+		eng.SetTransitionStats(stats)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng.GlobalParams()
+}
+
+// requireRunsEqual asserts two runs are bit-identical: sampling decisions,
+// evaluation history and final parameters.
+func requireRunsEqual(t *testing.T, label string, res, ref *Result, params, refParams []float64) {
+	t.Helper()
+	if len(res.SampledPerStep) != len(ref.SampledPerStep) {
+		t.Fatalf("%s: steps %d vs %d", label, len(res.SampledPerStep), len(ref.SampledPerStep))
+	}
+	for i, want := range ref.SampledPerStep {
+		if res.SampledPerStep[i] != want {
+			t.Fatalf("%s: SampledPerStep[%d] = %d, want %d", label, i, res.SampledPerStep[i], want)
+		}
+	}
+	if res.TotalSampled != ref.TotalSampled || res.Comm != ref.Comm {
+		t.Fatalf("%s: totals diverged: %+v vs %+v", label, res, ref)
+	}
+	refPts, pts := ref.History.Points, res.History.Points
+	if len(pts) != len(refPts) {
+		t.Fatalf("%s: history %d points vs %d", label, len(pts), len(refPts))
+	}
+	for i := range refPts {
+		if math.Float64bits(pts[i].Accuracy) != math.Float64bits(refPts[i].Accuracy) ||
+			math.Float64bits(pts[i].Loss) != math.Float64bits(refPts[i].Loss) {
+			t.Fatalf("%s: history[%d] = %+v, want %+v", label, i, pts[i], refPts[i])
+		}
+	}
+	for j, want := range refParams {
+		if math.Float64bits(params[j]) != math.Float64bits(want) {
+			t.Fatalf("%s: global param %d = %v, want %v", label, j, params[j], want)
+		}
+	}
+}
+
+// TestRunStreamingMatchesDenseBitIdentical is the tentpole determinism gate:
+// a run driven by a streaming MarkovSource is bit-identical to the same run
+// driven by the source's materialized dense schedule, at every worker and
+// shard count. Sampling decisions, history and final parameters all match
+// exactly — the O(Devices) window changes memory, never results.
+func TestRunStreamingMatchesDenseBitIdentical(t *testing.T) {
+	mkSrc, dense := streamSetup(t)
+	ref, refParams := runStreamConfig(t, dense, 1, 0, nil)
+
+	for _, workers := range []int{1, 3} {
+		for _, shards := range []int{0, 1, 3} {
+			res, params := runStreamConfig(t, mkSrc(), workers, shards, nil)
+			requireRunsEqual(t, "stream", res, ref, params, refParams)
+			// The dense adapter must agree too, at the same concurrency.
+			res, params = runStreamConfig(t, dense, workers, shards, nil)
+			requireRunsEqual(t, "dense", res, ref, params, refParams)
+		}
+	}
+}
+
+// TestTransitionStatsAreObservationOnly: attaching OnlineTransitionStats
+// must not change a single bit of the run, while the statistics themselves
+// come out fitted — every engine-visible single-step transition observed, no
+// jumps, a transition rate matching the dense schedule's, and a
+// predictor-ready matrix.
+func TestTransitionStatsAreObservationOnly(t *testing.T) {
+	mkSrc, dense := streamSetup(t)
+	ref, refParams := runStreamConfig(t, dense, 1, 0, nil)
+
+	stats, err := mobility.NewOnlineTransitionStats(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, params := runStreamConfig(t, mkSrc(), 3, 3, stats)
+	requireRunsEqual(t, "with stats", res, ref, params, refParams)
+
+	if stats.Steps() != 11 { // steps 1..11; step 0 is the initial snapshot
+		t.Fatalf("observed %d single-step transitions, want 11", stats.Steps())
+	}
+	if stats.Jumps() != 0 {
+		t.Fatalf("run recorded %d jumps, want 0", stats.Jumps())
+	}
+	if got, want := stats.TransitionRate(), dense.TransitionRate(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("online transition rate %v, dense %v", got, want)
+	}
+	for i, row := range stats.Transitions() {
+		sum := 0.0
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("fitted row %d sums to %v", i, sum)
+		}
+	}
+}

@@ -207,7 +207,7 @@ func TestDecideWarmPathZeroAllocNilTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.shards[0].index.Advance(0)
+	eng.positionMobility(0)
 	if err := eng.edgeDecide(0, 0); err != nil { // warm-up installs the buffers
 		t.Fatal(err)
 	}

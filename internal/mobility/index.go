@@ -64,8 +64,22 @@ func NewMemberIndexRange(s *Schedule, lo, hi int) *MemberIndex {
 	if lo < 0 || hi > s.Edges || lo > hi {
 		panic("mobility: member index range out of bounds")
 	}
+	ix := NewMemberIndexWindow(lo, hi)
+	ix.s = s
+	return ix
+}
+
+// NewMemberIndexWindow returns an index covering the edges [lo, hi) with no
+// schedule bound: the caller feeds it the per-step attachment row and move
+// stream through AdvanceWith. This is the streaming-plane construction — the
+// index holds only its covered member lists plus O(hi-lo) scratch, never a
+// dense schedule. Advance (the schedule-bound entry point) must not be called
+// on a window index.
+func NewMemberIndexWindow(lo, hi int) *MemberIndex {
+	if lo < 0 || lo > hi {
+		panic("mobility: member index range out of bounds")
+	}
 	return &MemberIndex{
-		s:       s,
 		step:    -1,
 		lo:      lo,
 		hi:      hi,
@@ -109,11 +123,66 @@ func (ix *MemberIndex) Advance(t int) {
 	}
 }
 
-// rebuild builds the member lists for step t by counting sort: one pass
-// sizes each covered edge's list, a second fills them in ascending device
-// order.
+// AdvanceWith positions the index at step t from an externally supplied
+// attachment row and move stream — the StepSource protocol — instead of a
+// bound schedule. row is the full device→edge row at step t; moves is the
+// step's move stream when the caller advanced by exactly one step (rebuilt
+// false). A single-step advance repairs only the moves that intersect the
+// covered range — O(moves·log + shifts), no row-vs-row diff — and falls back
+// to the counting rebuild over row when too many covered devices moved.
+// Whether positioned by Advance or AdvanceWith, the member lists are
+// identical: membership is a pure function of the attachment row.
+//
+//machlint:allocfree
+func (ix *MemberIndex) AdvanceWith(t int, row []int, moves []Move, rebuilt bool) {
+	switch {
+	case t == ix.step:
+		return
+	case !rebuilt && ix.step >= 0 && t == ix.step+1 && ix.applyMovesDelta(t, moves):
+		return
+	default:
+		ix.rebuildRow(t, row)
+	}
+}
+
+// applyMovesDelta repairs the member lists with one step's move stream,
+// touching only moves that intersect the covered range. It reports false —
+// leaving the index unchanged — when the step moved too many covered devices
+// for a repair to beat a rebuild (same budget as advanceDelta).
+func (ix *MemberIndex) applyMovesDelta(t int, moves []Move) bool {
+	limit := (ix.hi - ix.lo) / deltaRebuildDen
+	covered := 0
+	for _, mv := range moves {
+		if ix.covers(mv.From) || ix.covers(mv.To) {
+			covered++
+			if covered > limit {
+				return false
+			}
+		}
+	}
+	for _, mv := range moves {
+		if ix.covers(mv.From) {
+			ix.members[mv.From-ix.lo] = removeSorted(ix.members[mv.From-ix.lo], mv.Device)
+		}
+	}
+	for _, mv := range moves {
+		if ix.covers(mv.To) {
+			ix.members[mv.To-ix.lo] = insertSorted(ix.members[mv.To-ix.lo], mv.Device)
+		}
+	}
+	ix.step = t
+	return true
+}
+
+// rebuild builds the member lists for step t from the bound schedule's row.
 func (ix *MemberIndex) rebuild(t int) {
-	row := ix.s.edgeOf[t]
+	ix.rebuildRow(t, ix.s.edgeOf[t])
+}
+
+// rebuildRow builds the member lists for step t from an explicit attachment
+// row by counting sort: one pass sizes each covered edge's list, a second
+// fills them in ascending device order.
+func (ix *MemberIndex) rebuildRow(t int, row []int) {
 	counts := ix.counts
 	for n := range counts {
 		counts[n] = 0

@@ -56,10 +56,56 @@ func (c LevyConfig) Validate() error {
 
 // powerLaw draws from a truncated power law p(x) ∝ x^(−(α+1)) on [lo, hi]
 // via inverse-transform sampling.
-func powerLaw(rng *rand.Rand, alpha, lo, hi float64) float64 {
+func powerLaw(rng uniformRNG, alpha, lo, hi float64) float64 {
 	u := rng.Float64()
 	la, ha := math.Pow(lo, -alpha), math.Pow(hi, -alpha)
 	return math.Pow(la+u*(ha-la), -1/alpha)
+}
+
+// levyState is one device's Lévy-walk kinematic state: position, the
+// current flight's direction and remaining length, and the remaining pause.
+// Shared by the legacy trace generator and the streaming LevySource, so the
+// model cannot drift between the dense and streaming paths.
+type levyState struct {
+	x, y      float64
+	theta     float64
+	remaining float64
+	pause     int64
+}
+
+// levyInit draws a device's initial state — position plus the first
+// flight — in exactly the order GenerateLevyTrace always drew.
+func levyInit(rng uniformRNG, cfg LevyConfig) levyState {
+	var st levyState
+	st.x, st.y = rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
+	st.theta = rng.Float64() * 2 * math.Pi
+	st.remaining = powerLaw(rng, cfg.Alpha, cfg.MinFlight, cfg.MaxFlight)
+	return st
+}
+
+// levyStep advances one device by one time unit: sit out a pause, or fly at
+// constant speed, drawing the next flight (and possibly a pause) when the
+// current one is spent. Draw order is exactly the legacy generator's.
+func levyStep(rng uniformRNG, st *levyState, cfg LevyConfig) {
+	if st.pause > 0 {
+		st.pause--
+		return
+	}
+	step := cfg.Speed
+	if step > st.remaining {
+		step = st.remaining
+	}
+	st.x = clamp(st.x+step*math.Cos(st.theta), 0, cfg.Width)
+	st.y = clamp(st.y+step*math.Sin(st.theta), 0, cfg.Height)
+	st.remaining -= step
+	if st.remaining <= 0 {
+		st.theta = rng.Float64() * 2 * math.Pi
+		st.remaining = powerLaw(rng, cfg.Alpha, cfg.MinFlight, cfg.MaxFlight)
+		if cfg.MaxPause > 0 {
+			p := powerLaw(rng, cfg.Beta, 1, float64(cfg.MaxPause)+1)
+			st.pause = int64(p)
+		}
+	}
 }
 
 // GenerateLevyTrace simulates devices moving by Lévy walks, attaching to the
@@ -73,40 +119,18 @@ func GenerateLevyTrace(rng *rand.Rand, stations []Station, devices int, horizon 
 	}
 	trace := &Trace{}
 	for m := 0; m < devices; m++ {
-		x, y := rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
-		// Current flight: direction and remaining length.
-		theta := rng.Float64() * 2 * math.Pi
-		remaining := powerLaw(rng, cfg.Alpha, cfg.MinFlight, cfg.MaxFlight)
-		var pause int64
-		cur := NearestStation(stations, x, y)
+		st := levyInit(rng, cfg)
+		cur := NearestStation(stations, st.x, st.y)
 		var start int64
 		for t := int64(1); t <= horizon; t++ {
-			if pause > 0 {
-				pause--
-			} else {
-				step := cfg.Speed
-				if step > remaining {
-					step = remaining
-				}
-				x = clamp(x+step*math.Cos(theta), 0, cfg.Width)
-				y = clamp(y+step*math.Sin(theta), 0, cfg.Height)
-				remaining -= step
-				if remaining <= 0 {
-					theta = rng.Float64() * 2 * math.Pi
-					remaining = powerLaw(rng, cfg.Alpha, cfg.MinFlight, cfg.MaxFlight)
-					if cfg.MaxPause > 0 {
-						p := powerLaw(rng, cfg.Beta, 1, float64(cfg.MaxPause)+1)
-						pause = int64(p)
-					}
-				}
-			}
+			levyStep(rng, &st, cfg)
 			if t == horizon {
 				if err := trace.Append(Record{Device: m, Station: cur, Start: start, End: horizon}); err != nil {
 					return nil, err
 				}
 				break
 			}
-			next := NearestStation(stations, x, y)
+			next := NearestStation(stations, st.x, st.y)
 			if next != cur {
 				if err := trace.Append(Record{Device: m, Station: cur, Start: start, End: t}); err != nil {
 					return nil, err

@@ -38,6 +38,50 @@ func (c WaypointConfig) Validate() error {
 	return nil
 }
 
+// waypointState is one device's random-waypoint kinematic state: position,
+// destination, speed, remaining pause. Shared by the legacy trace generator
+// and the streaming WaypointSource, so the model cannot drift between the
+// dense and streaming paths.
+type waypointState struct {
+	x, y         float64
+	destX, destY float64
+	speed        float64
+	pause        int64
+}
+
+// waypointInit draws a device's initial state — position, destination,
+// speed — in exactly the order GenerateWaypointTrace always drew.
+func waypointInit(rng uniformRNG, cfg WaypointConfig) waypointState {
+	var st waypointState
+	st.x, st.y = rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
+	st.destX, st.destY = rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
+	st.speed = cfg.SpeedMin + rng.Float64()*(cfg.SpeedMax-cfg.SpeedMin)
+	return st
+}
+
+// waypointStep advances one device by one time unit: sit out a pause, or
+// walk toward the destination, picking a new one (plus speed and pause) on
+// arrival. Draw order is exactly the legacy generator's.
+func waypointStep(rng uniformRNG, st *waypointState, cfg WaypointConfig) {
+	if st.pause > 0 {
+		st.pause--
+		return
+	}
+	dx, dy := st.destX-st.x, st.destY-st.y
+	dist := math.Hypot(dx, dy)
+	if dist <= st.speed {
+		st.x, st.y = st.destX, st.destY
+		st.destX, st.destY = rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
+		st.speed = cfg.SpeedMin + rng.Float64()*(cfg.SpeedMax-cfg.SpeedMin)
+		if cfg.PauseMax > 0 {
+			st.pause = rng.Int63n(cfg.PauseMax + 1)
+		}
+	} else {
+		st.x += dx / dist * st.speed
+		st.y += dy / dist * st.speed
+	}
+}
+
 // GenerateWaypointTrace simulates devices moving by random waypoint for the
 // given number of time units, attaching to the nearest station at every unit,
 // and emits one access record per dwell interval.
@@ -50,37 +94,18 @@ func GenerateWaypointTrace(rng *rand.Rand, stations []Station, devices int, hori
 	}
 	trace := &Trace{}
 	for m := 0; m < devices; m++ {
-		x, y := rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
-		destX, destY := rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
-		speed := cfg.SpeedMin + rng.Float64()*(cfg.SpeedMax-cfg.SpeedMin)
-		var pause int64
-		cur := NearestStation(stations, x, y)
+		st := waypointInit(rng, cfg)
+		cur := NearestStation(stations, st.x, st.y)
 		var start int64
 		for t := int64(1); t <= horizon; t++ {
-			if pause > 0 {
-				pause--
-			} else {
-				dx, dy := destX-x, destY-y
-				dist := math.Hypot(dx, dy)
-				if dist <= speed {
-					x, y = destX, destY
-					destX, destY = rng.Float64()*cfg.Width, rng.Float64()*cfg.Height
-					speed = cfg.SpeedMin + rng.Float64()*(cfg.SpeedMax-cfg.SpeedMin)
-					if cfg.PauseMax > 0 {
-						pause = rng.Int63n(cfg.PauseMax + 1)
-					}
-				} else {
-					x += dx / dist * speed
-					y += dy / dist * speed
-				}
-			}
+			waypointStep(rng, &st, cfg)
 			if t == horizon {
 				if err := trace.Append(Record{Device: m, Station: cur, Start: start, End: horizon}); err != nil {
 					return nil, err
 				}
 				break
 			}
-			next := NearestStation(stations, x, y)
+			next := NearestStation(stations, st.x, st.y)
 			if next != cur {
 				if err := trace.Append(Record{Device: m, Station: cur, Start: start, End: t}); err != nil {
 					return nil, err

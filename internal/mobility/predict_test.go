@@ -107,6 +107,45 @@ func TestExpectedMembersSumsToDevices(t *testing.T) {
 	}
 }
 
+// TestPredictorSingleObservationUniform: a trace with one record per device
+// has no consecutive-record pairs, so the fitted chain is all uniform
+// fallback rows — and the predictor built on it stays exactly uniform at
+// every horizon instead of degenerating or erroring.
+func TestPredictorSingleObservationUniform(t *testing.T) {
+	tr := &Trace{}
+	for m := 0; m < 4; m++ {
+		if err := tr.Append(Record{Device: m, Station: m % 2, Start: 0, End: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain, err := EstimateTransitions(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range chain {
+		for j, p := range row {
+			if math.Abs(p-0.5) > 1e-15 {
+				t.Fatalf("single-observation chain [%d][%d] = %v, want uniform 0.5", i, j, p)
+			}
+		}
+	}
+	p, err := NewPredictor(chain, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, horizon := range []int{1, 5, 50} {
+		probs, err := p.EdgeProbabilities(0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, q := range probs {
+			if math.Abs(q-0.5) > 1e-12 {
+				t.Fatalf("horizon %d edge %d probability %v, want 0.5", horizon, n, q)
+			}
+		}
+	}
+}
+
 // End-to-end: fit a chain from a generated trace and check the predictor's
 // long-horizon edge occupancy roughly matches the realized schedule's.
 func TestPredictorMatchesRealizedOccupancy(t *testing.T) {

@@ -2,6 +2,7 @@ package mobility
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -14,10 +15,25 @@ import (
 // the start/end timestamps of the attachment (here in abstract time units;
 // the simulator maps them to FL time steps via Schedule).
 type Record struct {
-	Device  int
-	Station int
-	Start   int64
-	End     int64 // exclusive
+	Device  int   `json:"device"`
+	Station int   `json:"station"`
+	Start   int64 `json:"start"`
+	End     int64 `json:"end"` // exclusive
+}
+
+// Check validates the record's invariants: non-negative device and station,
+// end strictly after start. It is the single validation both Trace.Append
+// and the streaming TraceSource apply.
+func (r Record) Check() error {
+	switch {
+	case r.Device < 0:
+		return fmt.Errorf("mobility: record has negative device %d", r.Device)
+	case r.Station < 0:
+		return fmt.Errorf("mobility: record has negative station %d", r.Station)
+	case r.End <= r.Start:
+		return fmt.Errorf("mobility: record for device %d has end %d ≤ start %d", r.Device, r.End, r.Start)
+	}
+	return nil
 }
 
 // Trace is an ordered collection of access records.
@@ -27,13 +43,8 @@ type Trace struct {
 
 // Append adds a record after basic validation.
 func (t *Trace) Append(r Record) error {
-	switch {
-	case r.Device < 0:
-		return fmt.Errorf("mobility: record has negative device %d", r.Device)
-	case r.Station < 0:
-		return fmt.Errorf("mobility: record has negative station %d", r.Station)
-	case r.End <= r.Start:
-		return fmt.Errorf("mobility: record for device %d has end %d ≤ start %d", r.Device, r.End, r.Start)
+	if err := r.Check(); err != nil {
+		return err
 	}
 	t.Records = append(t.Records, r)
 	return nil
@@ -48,6 +59,23 @@ func (t *Trace) Sort() {
 			return a.Device < b.Device
 		}
 		return a.Start < b.Start
+	})
+}
+
+// SortByTime orders records by (start, device, end) — the global time order
+// the streaming TraceSource requires. Real access logs arrive in this order
+// already; generated traces (Sort order, device-major) need one pass through
+// here before they can be streamed.
+func (t *Trace) SortByTime() {
+	sort.Slice(t.Records, func(i, j int) bool {
+		a, b := t.Records[i], t.Records[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.End < b.End
 	})
 }
 
@@ -95,6 +123,22 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		line := strconv.Itoa(r.Device) + "," + strconv.Itoa(r.Station) + "," +
 			strconv.FormatInt(r.Start, 10) + "," + strconv.FormatInt(r.End, 10) + "\n"
 		if _, err := bw.WriteString(line); err != nil {
+			return fmt.Errorf("mobility: write record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("mobility: flush trace: %w", err)
+	}
+	return nil
+}
+
+// WriteNDJSON writes the trace as one JSON object per line, the streaming
+// interchange format TraceSource accepts alongside CSV.
+func (t *Trace) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.Records {
+		if err := enc.Encode(r); err != nil {
 			return fmt.Errorf("mobility: write record: %w", err)
 		}
 	}

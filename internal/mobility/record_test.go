@@ -1,0 +1,104 @@
+package mobility
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRecordCheck covers the single validation shared by Trace.Append and
+// the streaming TraceSource.
+func TestRecordCheck(t *testing.T) {
+	if err := (Record{Device: 0, Station: 3, Start: 2, End: 9}).Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		r    Record
+	}{
+		{"negative device", Record{Device: -1, Station: 0, Start: 0, End: 1}},
+		{"negative station", Record{Device: 0, Station: -2, Start: 0, End: 1}},
+		{"end equals start", Record{Device: 0, Station: 0, Start: 5, End: 5}},
+		{"end before start", Record{Device: 0, Station: 0, Start: 5, End: 3}},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.r.Check(); err == nil {
+				t.Fatalf("accepted %+v", tt.r)
+			}
+		})
+	}
+}
+
+// TestSortByTimeOrder: SortByTime yields global (start, device, end) order —
+// the layout the streaming TraceSource requires — from any input order,
+// including the device-major order Sort produces.
+func TestSortByTimeOrder(t *testing.T) {
+	tr := &Trace{}
+	records := []Record{
+		{Device: 2, Station: 0, Start: 8, End: 12},
+		{Device: 0, Station: 1, Start: 8, End: 10},
+		{Device: 1, Station: 2, Start: 0, End: 8},
+		{Device: 0, Station: 0, Start: 0, End: 8},
+		{Device: 0, Station: 2, Start: 12, End: 20},
+	}
+	for _, r := range records {
+		if err := tr.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Sort() // device-major first, proving SortByTime re-orders
+	tr.SortByTime()
+	if !sort.SliceIsSorted(tr.Records, func(i, j int) bool {
+		a, b := tr.Records[i], tr.Records[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.End < b.End
+	}) {
+		t.Fatalf("records not in time order: %+v", tr.Records)
+	}
+	if tr.Records[0].Device != 0 || tr.Records[0].Start != 0 {
+		t.Fatalf("first record %+v, want device 0 start 0", tr.Records[0])
+	}
+}
+
+// TestWriteNDJSONRoundTrip: the NDJSON encoding is one JSON object per line
+// with the Record field names, decoding back to the same records.
+func TestWriteNDJSONRoundTrip(t *testing.T) {
+	tr := &Trace{}
+	want := []Record{
+		{Device: 0, Station: 4, Start: 0, End: 7},
+		{Device: 3, Station: 1, Start: 7, End: 9},
+	}
+	for _, r := range want {
+		if err := tr.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("%d lines, want %d", len(lines), len(want))
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, `"device"`) || !strings.Contains(line, `"start"`) {
+			t.Fatalf("line %d lacks the record field names: %s", i, line)
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r != want[i] {
+			t.Fatalf("line %d decoded %+v, want %+v", i, r, want[i])
+		}
+	}
+}

@@ -15,6 +15,12 @@ type Schedule struct {
 	Steps   int
 	// edgeOf[t][m] is the edge device m is attached to at time step t.
 	edgeOf [][]int
+
+	// StepSource adapter state (source.go): srcPos is the adapter cursor
+	// encoded as current step + 1 so the zero value means "unpositioned",
+	// and srcMoves is the pooled move buffer of the single-step row diff.
+	srcPos   int
+	srcMoves []Move
 }
 
 // NewSchedule allocates a schedule with every device on edge 0.
@@ -138,11 +144,7 @@ func BuildSchedule(trace *Trace, edgeOfStation []int, edges, devices, steps int,
 		if r.Station >= len(edgeOfStation) {
 			return nil, fmt.Errorf("mobility: record references station %d outside clustering (%d stations)", r.Station, len(edgeOfStation))
 		}
-		first := r.Start / stepDur
-		if r.Start%stepDur != 0 {
-			first++ // station must hold at the step boundary
-		}
-		last := (r.End - 1) / stepDur
+		first, last := recordSteps(r.Start, r.End, stepDur)
 		for t := first; t <= last && t < int64(steps); t++ {
 			if t < 0 {
 				continue
@@ -178,6 +180,22 @@ func BuildSchedule(trace *Trace, edgeOfStation []int, edges, devices, steps int,
 	return s, s.Validate()
 }
 
+// recordSteps maps one access record [start, end) onto the FL steps whose
+// boundaries it covers: the first step whose boundary the station holds at
+// (start rounded up to a step boundary) through the last boundary before
+// end. A record that spans no step boundary yields first > last and covers
+// nothing. This is the one trace→attachment lowering both the dense
+// (BuildSchedule) and streaming (TraceSource) paths use, so the two cannot
+// drift.
+func recordSteps(start, end, stepDur int64) (first, last int64) {
+	first = start / stepDur
+	if start%stepDur != 0 {
+		first++ // station must hold at the step boundary
+	}
+	last = (end - 1) / stepDur
+	return first, last
+}
+
 // GenerateSchedule is the one-call path used by tests and benches: it places
 // stations, simulates waypoint mobility, clusters stations into edges, and
 // builds the schedule, all from a single seed.
@@ -205,15 +223,10 @@ func GenerateMarkovSchedule(seed int64, edges, devices, steps int, stayProb floa
 		e := rng.Intn(edges)
 		s.edgeOf[0][m] = e
 		for t := 1; t < steps; t++ {
-			if edges > 1 && rng.Float64() >= stayProb {
-				// Uniform over the other edges: draw from [0, edges-1) and
-				// skip past the current edge.
-				hop := rng.Intn(edges - 1)
-				if hop >= e {
-					hop++
-				}
-				e = hop
-			}
+			// markovNext draws exactly the legacy sequence (one Float64 when
+			// edges > 1, one Intn on a hop), so recorded goldens are
+			// untouched; MarkovSource advances the same chain per device.
+			e = markovNext(rng, e, edges, stayProb)
 			s.edgeOf[t][m] = e
 		}
 	}

@@ -1,0 +1,200 @@
+package mobility
+
+import (
+	"testing"
+)
+
+// TestMarkovSourceMatchesMaterializedTwin is the streaming-vs-dense identity
+// at the source level: walking a MarkovSource step by step through its move
+// stream reproduces exactly the rows of a materialized twin built from the
+// same parameters.
+func TestMarkovSourceMatchesMaterializedTwin(t *testing.T) {
+	mk := func() *MarkovSource {
+		src, err := NewMarkovSource(7, 6, 80, 25, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	twin, err := Materialize(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := walkSource(t, mk())
+	moved := 0
+	for step := range rows {
+		for m, e := range rows[step] {
+			if want := twin.EdgeOf(step, m); e != want {
+				t.Fatalf("step %d device %d: streamed %d, materialized %d", step, m, e, want)
+			}
+			if step > 0 && e != rows[step-1][m] {
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("chain never moved a device; test exercises nothing")
+	}
+}
+
+// TestMarkovSourceDeterministic: two sources with identical parameters agree
+// at every step, and a jump lands on the same row a stepwise walk reaches.
+func TestMarkovSourceDeterministic(t *testing.T) {
+	a, err := NewMarkovSource(11, 4, 50, 20, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := walkSource(t, a)
+	b, err := NewMarkovSource(11, 4, 50, 20, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves, rebuilt, err := b.AdvanceTo(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt || moves != nil {
+		t.Fatalf("jump: moves %v rebuilt %v, want nil/true", moves, rebuilt)
+	}
+	for m, e := range b.Snapshot(nil) {
+		if e != rows[13][m] {
+			t.Fatalf("device %d: jumped row %d, stepwise row %d", m, e, rows[13][m])
+		}
+	}
+}
+
+// TestStreamingSourceRefusesRewind: streaming sources have no history to
+// return to; repositioning backwards and leaving the horizon are errors, and
+// advancing to the current position is a no-op.
+func TestStreamingSourceRefusesRewind(t *testing.T) {
+	src, err := NewMarkovSource(1, 3, 10, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.AdvanceTo(2); err == nil {
+		t.Fatal("expected rewind error")
+	}
+	if _, _, err := src.AdvanceTo(8); err == nil {
+		t.Fatal("expected horizon error")
+	}
+	if _, _, err := src.AdvanceTo(-1); err == nil {
+		t.Fatal("expected negative step error")
+	}
+	moves, rebuilt, err := src.AdvanceTo(5)
+	if err != nil || rebuilt || moves != nil {
+		t.Fatalf("no-op advance: moves %v rebuilt %v err %v", moves, rebuilt, err)
+	}
+}
+
+// TestMarkovSourceStayProbExtremes pins the chain's boundary behavior:
+// stayProb 1 freezes every device, stayProb 0 moves every device every step,
+// and a single edge can never produce a move regardless of stayProb.
+func TestMarkovSourceStayProbExtremes(t *testing.T) {
+	frozen, err := NewMarkovSource(2, 5, 30, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := frozen.Snapshot(nil)
+	for step := 1; step < 10; step++ {
+		moves, _, err := frozen.AdvanceTo(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) != 0 {
+			t.Fatalf("stayProb 1 moved %d devices at step %d", len(moves), step)
+		}
+	}
+	for m, e := range frozen.Snapshot(nil) {
+		if e != first[m] {
+			t.Fatalf("stayProb 1 changed device %d", m)
+		}
+	}
+
+	churn, err := NewMarkovSource(2, 5, 30, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step < 10; step++ {
+		moves, _, err := churn.AdvanceTo(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) != 30 {
+			t.Fatalf("stayProb 0 moved %d of 30 devices at step %d", len(moves), step)
+		}
+	}
+
+	lone, err := NewMarkovSource(2, 1, 30, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step < 10; step++ {
+		moves, _, err := lone.AdvanceTo(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(moves) != 0 {
+			t.Fatalf("single edge produced moves at step %d", step)
+		}
+	}
+}
+
+// TestStreamingSourceConstructorValidation: bad dimensions and parameters are
+// rejected at construction for all three generator sources.
+func TestStreamingSourceConstructorValidation(t *testing.T) {
+	if _, err := NewMarkovSource(1, 0, 10, 5, 0.5); err == nil {
+		t.Fatal("expected dims error")
+	}
+	if _, err := NewMarkovSource(1, 3, 10, 5, 1.5); err == nil {
+		t.Fatal("expected stay probability error")
+	}
+	if _, err := NewWaypointSource(1, 0, 10, 5, 2, DefaultWaypoint()); err == nil {
+		t.Fatal("expected waypoint dims error")
+	}
+	if _, err := NewWaypointSource(1, 3, 10, 5, 2, WaypointConfig{}); err == nil {
+		t.Fatal("expected waypoint config error")
+	}
+	if _, err := NewLevySource(1, 3, 10, 5, 2, LevyConfig{}); err == nil {
+		t.Fatal("expected levy config error")
+	}
+}
+
+// TestGeoSourcesMatchMaterializedTwin: the waypoint and Lévy streaming
+// sources walk bit-identically to their materialized twins and satisfy the
+// partition property (Materialize validates it).
+func TestGeoSourcesMatchMaterializedTwin(t *testing.T) {
+	build := []struct {
+		name string
+		mk   func() (StepSource, error)
+	}{
+		{"waypoint", func() (StepSource, error) { return NewWaypointSource(5, 4, 40, 15, 3, DefaultWaypoint()) }},
+		{"levy", func() (StepSource, error) { return NewLevySource(5, 4, 40, 15, 3, DefaultLevy()) }},
+	}
+	for _, b := range build {
+		t.Run(b.name, func(t *testing.T) {
+			src, err := b.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			twinSrc, err := b.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			twin, err := Materialize(twinSrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := walkSource(t, src)
+			for step := range rows {
+				for m, e := range rows[step] {
+					if want := twin.EdgeOf(step, m); e != want {
+						t.Fatalf("step %d device %d: streamed %d, materialized %d", step, m, e, want)
+					}
+				}
+			}
+		})
+	}
+}

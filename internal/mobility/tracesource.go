@@ -1,0 +1,274 @@
+package mobility
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TraceFormat selects the wire format of a streaming trace reader.
+type TraceFormat int
+
+const (
+	// TraceCSV is the "device,station,start,end" format of Trace.WriteCSV
+	// and cmd/tracegen (header line optional).
+	TraceCSV TraceFormat = iota
+	// TraceNDJSON is one JSON object per line with the Record field names
+	// ("device", "station", "start", "end"), the format of Trace.WriteNDJSON.
+	TraceNDJSON
+)
+
+// TraceSourceConfig shapes a streaming trace source: the population and step
+// horizon, the trace-time units per FL step, and the station→edge clustering
+// that lowers station IDs to edges.
+type TraceSourceConfig struct {
+	Edges   int
+	Devices int
+	Steps   int
+	// StepDur is the trace-time duration of one FL step; record timestamps
+	// are lowered to steps through recordSteps, exactly as BuildSchedule does.
+	StepDur int64
+	// EdgeOfStation maps station IDs to edges (ClusterStations output).
+	EdgeOfStation []int
+	Format        TraceFormat
+}
+
+func (c TraceSourceConfig) validate() error {
+	switch {
+	case c.Edges <= 0 || c.Devices <= 0 || c.Steps <= 0:
+		return fmt.Errorf("mobility: trace source dims %d/%d/%d must be positive", c.Edges, c.Devices, c.Steps)
+	case c.StepDur <= 0:
+		return fmt.Errorf("mobility: step duration %d must be positive", c.StepDur)
+	case len(c.EdgeOfStation) == 0:
+		return fmt.Errorf("mobility: trace source needs a station→edge clustering")
+	case c.Format != TraceCSV && c.Format != TraceNDJSON:
+		return fmt.Errorf("mobility: unknown trace format %d", c.Format)
+	}
+	for st, e := range c.EdgeOfStation {
+		if e < 0 || e >= c.Edges {
+			return fmt.Errorf("mobility: station %d clustered to invalid edge %d", st, e)
+		}
+	}
+	return nil
+}
+
+// TraceSource streams a time-ordered access-record file (CSV or NDJSON) as a
+// StepSource, holding only an O(Devices) window: the current attachment row,
+// one timestamp per device for overlap rejection, and a single look-ahead
+// record. It never materializes the schedule, so trace files far larger than
+// memory drive runs at constant residency.
+//
+// Format contract: records must be globally ordered by non-decreasing Start
+// (Trace.SortByTime order) — that is what makes a one-record look-ahead
+// sufficient — and a device's records must not overlap in time. Record
+// lowering shares recordSteps with BuildSchedule: a device attaches (at the
+// record's station's edge) from the first step boundary inside the record and
+// carries that edge forward until a later record moves it. The one divergence
+// from the dense path is deliberate: BuildSchedule back-fills a device's
+// leading gap from its first record (a whole-trace lookahead), while the
+// streaming source keeps yet-unseen devices on edge 0. Traces that open every
+// device at time 0 — tracegen's output does — lower identically on both
+// paths.
+type TraceSource struct {
+	cfg TraceSourceConfig
+
+	sc     *bufio.Scanner
+	lineNo int
+	eof    bool
+
+	row       []int   // current edge per device
+	lastEnd   []int64 // end of the last accepted record per device
+	lastStart int64   // global Start-order enforcement
+
+	pending    Record // parsed record not yet due (firstStep beyond position)
+	hasPending bool
+
+	moves []Move
+	pos   int
+}
+
+// NewTraceSource builds a streaming source over r, positioned at step 0 with
+// every device's step-0 record (if any) already applied; devices with no
+// record yet sit on edge 0 until their first record arrives.
+func NewTraceSource(r io.Reader, cfg TraceSourceConfig) (*TraceSource, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	s := &TraceSource{
+		cfg:       cfg,
+		sc:        sc,
+		row:       make([]int, cfg.Devices),
+		lastEnd:   make([]int64, cfg.Devices),
+		lastStart: -1 << 62,
+	}
+	for m := range s.lastEnd {
+		s.lastEnd[m] = -1 << 62
+	}
+	if err := s.applyDue(0, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dims returns (edges, devices, steps).
+func (s *TraceSource) Dims() (int, int, int) { return s.cfg.Edges, s.cfg.Devices, s.cfg.Steps }
+
+// AdvanceTo positions the source at step t; see StepSource. A single-step
+// advance consumes exactly the records whose first covered step boundary is
+// t — O(records due + moves), independent of Devices — and emits the edge
+// changes ascending in device ID.
+func (s *TraceSource) AdvanceTo(t int) ([]Move, bool, error) {
+	switch {
+	case t < 0 || t >= s.cfg.Steps:
+		return nil, false, fmt.Errorf("mobility: step %d outside source horizon [0,%d)", t, s.cfg.Steps)
+	case t == s.pos:
+		return nil, false, nil
+	case t < s.pos:
+		return nil, false, fmt.Errorf("mobility: streaming source cannot rewind from step %d to %d", s.pos, t)
+	}
+	if t != s.pos+1 {
+		// Jump: fold every due record into the row; the caller resyncs
+		// from Snapshot, so no move stream is needed.
+		if err := s.applyDue(t, nil); err != nil {
+			return nil, false, err
+		}
+		s.pos = t
+		return nil, true, nil
+	}
+	s.moves = s.moves[:0]
+	if err := s.applyDue(t, &s.moves); err != nil {
+		return nil, false, err
+	}
+	// Records arrive in Start order, not device order; the move contract
+	// is ascending device IDs. Each device moves at most once per step
+	// (overlapping records are rejected), so a plain sort suffices.
+	sort.Slice(s.moves, func(i, j int) bool { return s.moves[i].Device < s.moves[j].Device })
+	s.pos = t
+	return s.moves, false, nil
+}
+
+// Snapshot appends the current attachment row into dst[:0].
+func (s *TraceSource) Snapshot(dst []int) []int { return append(dst[:0], s.row...) }
+
+// applyDue consumes records whose first covered step boundary is ≤ t,
+// updating the attachment row and, when moves is non-nil, recording each edge
+// change. The first not-yet-due record is held as the look-ahead.
+func (s *TraceSource) applyDue(t int, moves *[]Move) error {
+	for {
+		r, ok, err := s.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		first, last := recordSteps(r.Start, r.End, s.cfg.StepDur)
+		if first > last || last < 0 {
+			continue // spans no step boundary: attaches nothing on either path
+		}
+		if first < 0 {
+			first = 0
+		}
+		if first > int64(t) {
+			s.pending, s.hasPending = r, true
+			return nil
+		}
+		e := s.cfg.EdgeOfStation[r.Station]
+		if e != s.row[r.Device] {
+			if moves != nil {
+				*moves = append(*moves, Move{Device: r.Device, From: s.row[r.Device], To: e})
+			}
+			s.row[r.Device] = e
+		}
+	}
+}
+
+// next returns the next validated record, preferring the look-ahead. Records
+// for devices beyond the configured population are skipped, matching
+// BuildSchedule; everything else is validated strictly: well-formed fields,
+// station inside the clustering, globally non-decreasing Start, and no
+// per-device time overlap.
+func (s *TraceSource) next() (Record, bool, error) {
+	if s.hasPending {
+		s.hasPending = false
+		return s.pending, true, nil
+	}
+	for !s.eof {
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				return Record{}, false, fmt.Errorf("mobility: scan trace: %w", err)
+			}
+			s.eof = true
+			return Record{}, false, nil
+		}
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		if s.cfg.Format == TraceCSV && s.lineNo == 1 && strings.HasPrefix(line, "device") {
+			continue // header
+		}
+		r, err := s.parse(line)
+		if err != nil {
+			return Record{}, false, err
+		}
+		if err := r.Check(); err != nil {
+			return Record{}, false, fmt.Errorf("mobility: line %d: %w", s.lineNo, err)
+		}
+		if r.Start < s.lastStart {
+			return Record{}, false, fmt.Errorf("mobility: line %d: start %d out of order (previous %d); streaming traces must be sorted by start time", s.lineNo, r.Start, s.lastStart)
+		}
+		s.lastStart = r.Start
+		if r.Device >= s.cfg.Devices {
+			continue // trace may contain more devices than the experiment uses
+		}
+		if r.Station >= len(s.cfg.EdgeOfStation) {
+			return Record{}, false, fmt.Errorf("mobility: line %d: station %d outside clustering (%d stations)", s.lineNo, r.Station, len(s.cfg.EdgeOfStation))
+		}
+		if r.Start < s.lastEnd[r.Device] {
+			return Record{}, false, fmt.Errorf("mobility: line %d: device %d record [%d,%d) overlaps previous record ending at %d", s.lineNo, r.Device, r.Start, r.End, s.lastEnd[r.Device])
+		}
+		s.lastEnd[r.Device] = r.End
+		return r, true, nil
+	}
+	return Record{}, false, nil
+}
+
+// parse decodes one line in the configured format.
+func (s *TraceSource) parse(line string) (Record, error) {
+	var r Record
+	if s.cfg.Format == TraceNDJSON {
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return Record{}, fmt.Errorf("mobility: line %d: %w", s.lineNo, err)
+		}
+		return r, nil
+	}
+	fields := strings.Split(line, ",")
+	if len(fields) != 4 {
+		return Record{}, fmt.Errorf("mobility: line %d: want 4 fields, got %d", s.lineNo, len(fields))
+	}
+	dev, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return Record{}, fmt.Errorf("mobility: line %d device: %w", s.lineNo, err)
+	}
+	st, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+	if err != nil {
+		return Record{}, fmt.Errorf("mobility: line %d station: %w", s.lineNo, err)
+	}
+	start, err := strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("mobility: line %d start: %w", s.lineNo, err)
+	}
+	end, err := strconv.ParseInt(strings.TrimSpace(fields[3]), 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("mobility: line %d end: %w", s.lineNo, err)
+	}
+	return Record{Device: dev, Station: st, Start: start, End: end}, nil
+}

@@ -57,6 +57,19 @@ type (
 type (
 	// Schedule is the realized mobility indicator B^t.
 	Schedule = mobility.Schedule
+	// StepSource streams per-step attachments from an O(Devices) window;
+	// *Schedule satisfies it, so dense and streaming planes are
+	// interchangeable wherever an engine takes mobility input.
+	StepSource = mobility.StepSource
+	// Move is one device reattachment in a StepSource's per-step stream.
+	Move = mobility.Move
+	// TraceSource streams attachments from a time-sorted trace file.
+	TraceSource = mobility.TraceSource
+	// TraceSourceConfig parameterizes a streaming trace reader.
+	TraceSourceConfig = mobility.TraceSourceConfig
+	// OnlineTransitionStats fits edge-transition statistics from a move
+	// stream, O(moves) per step.
+	OnlineTransitionStats = mobility.OnlineTransitionStats
 	// Trace is a collection of base-station access records.
 	Trace = mobility.Trace
 	// Record is one base-station access interval.
@@ -125,6 +138,20 @@ var (
 	// configurations.
 	DefaultWaypoint = mobility.DefaultWaypoint
 	DefaultMarkov   = mobility.DefaultMarkov
+	// NewMarkovSource, NewWaypointSource and NewLevySource are the streaming
+	// (O(Devices)-memory) counterparts of the dense schedule generators.
+	NewMarkovSource   = mobility.NewMarkovSource
+	NewWaypointSource = mobility.NewWaypointSource
+	NewLevySource     = mobility.NewLevySource
+	// NewTraceSource streams attachments from a time-sorted CSV/NDJSON trace.
+	NewTraceSource = mobility.NewTraceSource
+	// Materialize drains a StepSource into a dense Schedule.
+	Materialize = mobility.Materialize
+	// ApplyMoves replays one step's move stream onto an attachment row.
+	ApplyMoves = mobility.ApplyMoves
+	// NewOnlineTransitionStats builds an incremental transition estimator;
+	// attach it with Engine.SetTransitionStats.
+	NewOnlineTransitionStats = mobility.NewOnlineTransitionStats
 )
 
 // Strategy constructors.

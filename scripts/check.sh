@@ -41,6 +41,13 @@ go test -race -short -run 'TestRunF32BitIdenticalAcrossWorkerCounts|TestRunFused
 echo "== go test -race -short (sharded control plane, Shards=3 smoke)"
 go test -race -short -run 'TestRunBitIdenticalAcrossShardCounts|TestShardedMatchesSeedEngineGolden' ./internal/hfl
 
+echo "== streaming-vs-dense bit-identity smoke (StepSource plane, DESIGN.md §12)"
+go test -count=1 -run 'TestRunStreamingMatchesDenseBitIdentical|TestTransitionStatsAreObservationOnly' ./internal/hfl
+go test -count=1 -run 'TestMarkovSourceMatchesMaterializedTwin|TestGeoSourcesMatchMaterializedTwin|TestTraceSourceMatchesBuildSchedule|TestAdvanceWithMatchesAdvance' ./internal/mobility
+
+echo "== go test -race (sharded engine on a streaming source)"
+go test -race -count=1 -run 'TestRunStreamingMatchesDenseBitIdentical' ./internal/hfl
+
 echo "== f32-lane + fusion smoke (seeded run, accuracy within tolerance of f64)"
 go test -count=1 -run 'TestRunF32TracksF64' ./internal/hfl
 
