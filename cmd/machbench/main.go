@@ -518,9 +518,10 @@ func runComm(outDir string, profiles *bench.ProfileMeta) error {
 	return nil
 }
 
-// runTelemetry measures the observability overhead (off vs metrics vs full
-// trace) on the control-plane workload and writes BENCH_telemetry.json next
-// to the binary or into -out. -quick swaps in the seconds-scale smoke preset.
+// runTelemetry measures the observability overhead (off vs metrics vs spans
+// vs full trace vs a live /metrics scrape load) on the control-plane workload
+// and writes BENCH_telemetry.json next to the binary or into -out. -quick
+// swaps in the seconds-scale smoke preset.
 func runTelemetry(outDir string, quick bool, profiles *bench.ProfileMeta) error {
 	start := telemetry.WallNow()
 	preset := bench.TelemetryBenchPreset()

@@ -55,22 +55,31 @@ func run() error {
 		codecName = flag.String("codec", codec.SchemeDelta.String(),
 			"cloud: wire format for model transfers: delta | raw | float32 | int8")
 		debugAddr = flag.String("debug-addr", "",
-			"serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+			"serve /debug/*, /metrics, /healthz and /readyz on this address (watch with machtop)")
 	)
 	flag.Parse()
+	fmt.Fprintf(os.Stderr, "machnode: build %s\n", telemetry.BuildVersion())
 
 	// Every role can expose its telemetry; without -debug-addr the servers
-	// keep their zero-overhead nil sinks.
+	// keep their zero-overhead nil sinks. Spans ride along with the debug
+	// server: they feed /debug/spans and the span_*_ns percentile families,
+	// and the RPC span context in every call stitches the cloud, edge and
+	// device rings into one tree. /readyz stays 503 until the role's own
+	// serving surface is actually up (markReady below).
 	var tel *telemetry.Telemetry
+	var dbg *telemetry.DebugServer
 	if *debugAddr != "" {
 		tel = telemetry.New()
+		tel.EnableSpans(true)
 		srv, err := telemetry.StartDebugServer(*debugAddr, tel)
 		if err != nil {
 			return err
 		}
+		dbg = srv
 		defer srv.Close() //machlint:allow errdrop process is exiting; the listener dies with it
 		fmt.Fprintf(os.Stderr, "machnode: debug server on http://%s/debug/\n", srv.Addr)
 	}
+	markReady := func() { dbg.SetReady(true) } // nil-safe
 	scheme, err := codec.ParseScheme(*codecName)
 	if err != nil {
 		return err
@@ -113,6 +122,7 @@ func run() error {
 		}
 		fmt.Printf("machnode: device host %d/%d serving %d devices on %s\n",
 			*hostIndex, *numHosts, len(data), addr)
+		markReady()
 		waitForSignal()
 		return srv.Close()
 
@@ -139,6 +149,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("machnode: edge %d serving on %s\n", *edgeIndex, addr)
+		markReady()
 		waitForSignal()
 		return e.Close()
 
@@ -161,6 +172,7 @@ func run() error {
 		}
 		defer cloud.Close() //machlint:allow errdrop best-effort teardown at process exit; run errors already surfaced
 		cloud.SetTelemetry(tel)
+		markReady() // all edges and hosts dialed: the run is observable from here
 		hist, err := cloud.Run()
 		if err != nil {
 			return err

@@ -75,7 +75,8 @@ func run() error {
 		outPath  = flag.String("out", "", "write accuracy history CSV here (default stdout)")
 		confPath = flag.String("config", "", "JSON experiment config layered over the preset")
 
-		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/*, /metrics, /healthz and /readyz on this address (watch with machtop)")
+		metricsOut = flag.String("metrics-out", "", "write the final telemetry snapshot JSON here (compare runs with machtop diff)")
 		traceOut   = flag.String("trace-out", "", "write a JSONL sampling-decision trace here (read with machtrace)")
 		traceEvery = flag.Int("trace-every", 0, "record decision/phase events only every N steps (0 = all)")
 		traceEdges = flag.Int("trace-edges", 0, "record decisions only for the first N edges (0 = all)")
@@ -141,19 +142,25 @@ func run() error {
 	}
 
 	// Telemetry is attached whenever any observability surface is requested;
-	// without them the engine keeps its zero-overhead nil sink.
+	// without them the engine keeps its zero-overhead nil sink. Spans ride
+	// along with the debug server: they are what /debug/spans and the
+	// span_*_ns percentile families serve.
 	var tel *telemetry.Telemetry
-	if *debugAddr != "" || *traceOut != "" {
+	if *debugAddr != "" || *traceOut != "" || *metricsOut != "" {
 		tel = telemetry.New()
 		eng.SetTelemetry(tel)
 	}
 	if *debugAddr != "" {
+		tel.EnableSpans(true)
 		srv, err := telemetry.StartDebugServer(*debugAddr, tel)
 		if err != nil {
 			return err
 		}
 		defer srv.Close() //machlint:allow errdrop process is exiting; the listener dies with it
+		fmt.Fprintf(os.Stderr, "machsim: build %s\n", telemetry.BuildVersion())
 		fmt.Fprintf(os.Stderr, "machsim: debug server on http://%s/debug/\n", srv.Addr)
+		// The engine exists and the run is about to start: ready to be scraped.
+		srv.SetReady(true)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -188,6 +195,11 @@ func run() error {
 
 	if err := writeCSVTo(*outPath, res.History.WriteCSV); err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		if err := writeCSVTo(*metricsOut, tel.WriteSnapshot); err != nil {
+			return fmt.Errorf("metrics snapshot: %w", err)
+		}
 	}
 	fmt.Fprintf(os.Stderr,
 		"machsim: %s/%s  steps=%d  sampled=%d  final accuracy=%.4f  best=%.4f  elapsed=%v\n",

@@ -1,0 +1,324 @@
+// Command machtop is the observability companion for a running machsim or
+// machnode process: a live terminal dashboard over the debug server's
+// /debug/telemetry snapshot, a one-shot scrape of the health and metrics
+// endpoints (for scripts and smoke tests), and an offline diff of two saved
+// snapshots that flags metric regressions.
+//
+// Usage:
+//
+//	machtop -addr 127.0.0.1:6060                 # live dashboard (2s refresh)
+//	machtop -addr 127.0.0.1:6060 -once           # one frame, no screen clear
+//	machtop scrape -addr 127.0.0.1:6060          # /healthz + /readyz + /metrics check
+//	machtop diff old.json new.json               # exit 1 when a metric regressed
+//
+// Snapshots for diff come from `machsim -metrics-out` or from saving
+// /debug/telemetry. The regression rules are telemetry.DiffSnapshots's:
+// latency/byte/loss metrics must not grow, accuracy must not drop, beyond
+// -threshold percent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/mach-fl/mach/internal/det"
+	"github.com/mach-fl/mach/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "machtop:", err)
+		os.Exit(1)
+	}
+}
+
+// errRegression marks a diff that found regressions, so main exits 1 with
+// the findings already printed.
+type errRegression int
+
+func (e errRegression) Error() string {
+	return fmt.Sprintf("%d metric regression(s)", int(e))
+}
+
+func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "scrape":
+			return runScrape(args[1:])
+		case "diff":
+			return runDiff(args[1:])
+		}
+	}
+	return runWatch(args)
+}
+
+// runWatch is the live dashboard: poll /debug/telemetry and render a frame
+// per interval, computing rates from consecutive snapshots.
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("machtop", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:6060", "debug server address (machsim/machnode -debug-addr)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render a single frame and exit")
+	count := fs.Int("count", 0, "stop after N frames (0 = forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var prev *telemetry.Snapshot
+	var prevAt time.Time
+	for frame := 0; ; frame++ {
+		cur, err := fetchSnapshot(client, *addr)
+		if err != nil {
+			return err
+		}
+		//machlint:allow walltime dashboard rate math needs real elapsed wall time between polls; display-only, never feeds the run
+		now := time.Now()
+		var elapsed float64
+		if prev != nil {
+			elapsed = now.Sub(prevAt).Seconds()
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderFrame(os.Stdout, *addr, cur, prev, elapsed)
+		prev, prevAt = cur, now
+		if *once || (*count > 0 && frame+1 >= *count) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetchSnapshot(client *http.Client, addr string) (*telemetry.Snapshot, error) {
+	resp, err := client.Get("http://" + addr + "/debug/telemetry")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //machlint:allow errdrop response body close failure cannot corrupt a read that already succeeded
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/telemetry: status %d", resp.StatusCode)
+	}
+	var s telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, fmt.Errorf("decode /debug/telemetry: %w", err)
+	}
+	return &s, nil
+}
+
+// renderFrame writes one dashboard frame. prev may be nil (first frame:
+// rates show as totals only); elapsed is the wall seconds since prev.
+func renderFrame(w io.Writer, addr string, cur, prev *telemetry.Snapshot, elapsed float64) {
+	steps := cur.Counters["steps"]
+	fmt.Fprintf(w, "machtop  %s\n\n", addr)
+
+	rate := func(counter string) string {
+		if prev == nil || elapsed <= 0 {
+			return "-"
+		}
+		d := float64(cur.Counters[counter]-prev.Counters[counter]) / elapsed
+		return fmt.Sprintf("%.1f/s", d)
+	}
+	sampledPerStep := "-"
+	if h := cur.Histograms["edge_sampled"]; h.Count > 0 {
+		sampledPerStep = fmt.Sprintf("%.1f", h.Mean)
+	}
+	fmt.Fprintf(w, "steps     %8d  (%s)   sampled/edge-step %s   evals %d   cloud rounds %d\n",
+		steps, rate("steps"), sampledPerStep,
+		cur.Counters["evals"], cur.Counters["cloud_rounds"])
+	fmt.Fprintf(w, "rpc calls %8d  (%s)   devices trained %d\n",
+		cur.Counters["rpc_calls"], rate("rpc_calls"), cur.Counters["devices_trained"])
+	fmt.Fprintf(w, "comm      cloud %s   device up %s / down %s\n",
+		fmtBytes(cur.Counters["cloud_bytes"]),
+		fmtBytes(cur.Counters["device_uplink_bytes"]),
+		fmtBytes(cur.Counters["device_downlink_bytes"]))
+	if acc, ok := cur.Gauges["accuracy"]; ok {
+		fmt.Fprintf(w, "model     accuracy %.4f   loss %.4f\n", acc, cur.Gauges["loss"])
+	}
+
+	// Latency percentiles: engine phases first, then every span family.
+	fmt.Fprintf(w, "\n%-24s %10s %10s %10s %10s %8s\n", "latency", "p50", "p90", "p99", "p999", "count")
+	for _, name := range latencyOrder(cur) {
+		h := cur.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %10s %10s %10s %10s %8d\n", strings.TrimSuffix(name, "_ns"),
+			fmtNS(h.P50), fmtNS(h.P90), fmtNS(h.P99), fmtNS(h.P999), h.Count)
+	}
+
+	if len(cur.Shards) > 0 {
+		fmt.Fprintf(w, "\n%-8s %6s %12s %12s %12s\n", "shard", "queue", "decide p99", "train p99", "final p99")
+		for _, sh := range cur.Shards {
+			fmt.Fprintf(w, "%-8d %6d %12s %12s %12s\n", sh.Shard, sh.QueueDepth,
+				fmtNS(sh.Phases["decide"].P99), fmtNS(sh.Phases["train"].P99), fmtNS(sh.Phases["finalize"].P99))
+		}
+	}
+}
+
+// latencyOrder lists the snapshot's duration histograms: the engine-level
+// *_ns families in sorted order, then the span families in sorted order —
+// stable across frames so rows do not jump.
+func latencyOrder(s *telemetry.Snapshot) []string {
+	var engine, spans []string
+	for _, name := range det.SortedKeys(s.Histograms) {
+		if !strings.HasSuffix(name, "_ns") {
+			continue
+		}
+		if strings.HasPrefix(name, "span_") {
+			spans = append(spans, name)
+		} else {
+			engine = append(engine, name)
+		}
+	}
+	return append(engine, spans...)
+}
+
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// runScrape is the scriptable one-shot probe: check /healthz and /readyz,
+// fetch /metrics, validate the exposition shape, and print a summary. Any
+// failure is a non-zero exit, which is what check.sh keys on.
+func runScrape(args []string) error {
+	fs := flag.NewFlagSet("machtop scrape", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:6060", "debug server address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	get := func(path string) (int, string, error) {
+		resp, err := client.Get("http://" + *addr + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close() //machlint:allow errdrop response body close failure cannot corrupt a read that already succeeded
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, "", err
+		}
+		return resp.StatusCode, string(body), nil
+	}
+
+	status, body, err := get("/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if status != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		return fmt.Errorf("healthz: status %d body %q", status, body)
+	}
+	readyStatus, readyBody, err := get("/readyz")
+	if err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+	status, body, err = get("/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", status)
+	}
+	families, samples, err := checkExposition(body)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	fmt.Printf("machtop scrape %s: healthz ok, readyz %d %s, metrics %d families / %d samples\n",
+		*addr, readyStatus, strings.TrimSpace(readyBody), families, samples)
+	return nil
+}
+
+// checkExposition validates the Prometheus text format loosely: every
+// non-comment line must be "name{labels} value" with a mach_ prefix, and at
+// least one family must be present.
+func checkExposition(body string) (families, samples int, err error) {
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			families++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "mach_") {
+			return 0, 0, fmt.Errorf("sample without mach_ prefix: %q", line)
+		}
+		if !strings.Contains(line, " ") {
+			return 0, 0, fmt.Errorf("malformed sample line: %q", line)
+		}
+		samples++
+	}
+	if families == 0 || samples == 0 {
+		return 0, 0, fmt.Errorf("empty exposition (%d families, %d samples)", families, samples)
+	}
+	return families, samples, nil
+}
+
+// runDiff compares two saved snapshots and prints the changed metrics,
+// exiting non-zero when any regressed beyond the threshold.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("machtop diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0, "regression threshold in percent (0 = default 10)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: machtop diff [-threshold pct] old.json new.json")
+	}
+	return diffFiles(os.Stdout, fs.Arg(0), fs.Arg(1), *threshold)
+}
+
+// diffFiles is runDiff's testable core: load, diff, render, and surface
+// regressions as errRegression.
+func diffFiles(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	deltas := telemetry.DiffSnapshots(oldSnap, newSnap, telemetry.DiffOptions{ThresholdPct: threshold})
+	if err := telemetry.WriteSnapshotDiff(w, deltas); err != nil {
+		return err
+	}
+	if n := telemetry.Regressions(deltas); n > 0 {
+		return errRegression(n)
+	}
+	return nil
+}
+
+func loadSnapshot(path string) (*telemetry.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}

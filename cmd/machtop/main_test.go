@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mach-fl/mach/internal/telemetry"
+)
+
+// writeSnapshotFile marshals a snapshot the way machsim -metrics-out does.
+func writeSnapshotFile(t *testing.T, dir, name string, build func(tel *telemetry.Telemetry)) string {
+	t.Helper()
+	clock := int64(0)
+	tel := telemetry.NewWithClock(func() int64 { clock += 1000; return clock })
+	build(tel)
+	var buf bytes.Buffer
+	if err := tel.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	return path
+}
+
+// TestDiffFilesGolden pins machtop diff's end-to-end behavior on real
+// snapshot files: the rendered table and the regression exit signal.
+func TestDiffFilesGolden(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnapshotFile(t, dir, "old.json", func(tel *telemetry.Telemetry) {
+		tel.Add(telemetry.CounterSteps, 100)
+		tel.Observe(telemetry.HistStepNS, 1000)
+		tel.SetGauge(telemetry.GaugeAccuracy, 0.80)
+	})
+	newPath := writeSnapshotFile(t, dir, "new.json", func(tel *telemetry.Telemetry) {
+		tel.Add(telemetry.CounterSteps, 100)
+		tel.Observe(telemetry.HistStepNS, 2000) // step latency doubled: regression
+		tel.SetGauge(telemetry.GaugeAccuracy, 0.80)
+	})
+
+	var out bytes.Buffer
+	err := diffFiles(&out, oldPath, newPath, 10)
+	var reg errRegression
+	if !errors.As(err, &reg) {
+		t.Fatalf("diffFiles err = %v, want errRegression", err)
+	}
+	if int(reg) != 2 {
+		t.Fatalf("regressions = %d, want 2 (step_ns mean and p99)\noutput:\n%s", int(reg), out.String())
+	}
+	for _, want := range []string{"hist/step_ns.mean", "!! REGRESSION", "+100.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Identical snapshots: no rows, no error.
+	out.Reset()
+	if err := diffFiles(&out, oldPath, oldPath, 10); err != nil {
+		t.Fatalf("self-diff err = %v", err)
+	}
+	if !strings.Contains(out.String(), "0 metric(s) changed, 0 regression(s)") {
+		t.Fatalf("self-diff output unexpected:\n%s", out.String())
+	}
+}
+
+// TestRenderFrame smoke-tests the dashboard renderer against a snapshot with
+// counters, span histograms and shard sections, including the rate math
+// between two frames.
+func TestRenderFrame(t *testing.T) {
+	clock := int64(0)
+	tel := telemetry.NewWithClock(func() int64 { clock += 1000; return clock })
+	tel.Add(telemetry.CounterSteps, 20)
+	tel.Add(telemetry.CounterRPCCalls, 80)
+	tel.Add(telemetry.CounterCloudBytes, 3<<20)
+	tel.SetGauge(telemetry.GaugeAccuracy, 0.91)
+	tel.SetGauge(telemetry.GaugeLoss, 0.4)
+	tel.Observe(telemetry.HistStepNS, 5_000_000)
+	tel.Observe(telemetry.HistEdgeSampled, 12)
+	tel.SetShardCount(2)
+	tel.ObserveShardPhase(0, telemetry.ShardPhaseDecide, 100_000)
+	tel.EnableSpans(true)
+	tel.RecordSpan(telemetry.SpanRPCEdgeStep, 0, 3, 1, -1, 0, 2_000_000)
+	prev := tel.Snapshot()
+	tel.Add(telemetry.CounterSteps, 10)
+	cur := tel.Snapshot()
+
+	var out bytes.Buffer
+	renderFrame(&out, "127.0.0.1:6060", cur, prev, 2.0)
+	for _, want := range []string{
+		"steps           30  (5.0/s)",
+		"comm      cloud 3.00 MiB",
+		"accuracy 0.9100",
+		"span_rpc_edge_step", // span percentile row
+		"step",               // engine hist row
+		"shard",              // shard section header
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("frame missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCheckExposition accepts the real exposition and rejects junk.
+func TestCheckExposition(t *testing.T) {
+	tel := telemetry.New()
+	tel.Add(telemetry.CounterSteps, 5)
+	tel.Observe(telemetry.HistStepNS, 100)
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, tel.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	families, samples, err := checkExposition(buf.String())
+	if err != nil {
+		t.Fatalf("checkExposition rejected real exposition: %v", err)
+	}
+	if families == 0 || samples == 0 {
+		t.Fatalf("families/samples = %d/%d, want > 0", families, samples)
+	}
+	if _, _, err := checkExposition("not_prefixed 1\n"); err == nil {
+		t.Fatal("checkExposition accepted a non-mach_ sample")
+	}
+	if _, _, err := checkExposition(""); err == nil {
+		t.Fatal("checkExposition accepted an empty exposition")
+	}
+}
+
+// TestLoadSnapshotRoundTrip keeps machtop's snapshot reader compatible with
+// the telemetry package's writer.
+func TestLoadSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshotFile(t, dir, "snap.json", func(tel *telemetry.Telemetry) {
+		tel.Add(telemetry.CounterEvals, 7)
+	})
+	s, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatalf("loadSnapshot: %v", err)
+	}
+	if s.Counters["evals"] != 7 {
+		t.Fatalf("evals = %d, want 7", s.Counters["evals"])
+	}
+	if _, err := loadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loadSnapshot accepted a missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(bad); err == nil {
+		t.Fatal("loadSnapshot accepted malformed JSON")
+	}
+	// The writer must emit something json.Valid agrees with, too.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("snapshot file is not valid JSON")
+	}
+}

@@ -4,17 +4,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"runtime"
+	"sync/atomic"
 
 	"github.com/mach-fl/mach/internal/parallel"
 	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 // TelemetryBenchConfig parameterizes `machbench -exp telemetry`: the
-// sampling-only control plane of the scale benchmark run three times at one
-// population shape — telemetry off, metrics only, metrics plus a full
-// decision trace — so the overhead of each observability tier is measured
-// against an identical workload. All three modes replay the same coin
+// sampling-only control plane of the scale benchmark run at one population
+// shape once per observability tier — telemetry off, metrics only, metrics
+// plus spans, metrics plus a full decision trace, and metrics plus spans
+// under a live /metrics scrape load — so the overhead of each tier is
+// measured against an identical workload. All modes replay the same coin
 // streams, so their sampled counts must agree exactly.
 type TelemetryBenchConfig struct {
 	Devices       int     `json:"devices"`
@@ -73,8 +76,10 @@ func (c TelemetryBenchConfig) Validate() error { return c.scaleConfig().Validate
 
 // TelemetryBenchRow is one mode's measurement.
 type TelemetryBenchRow struct {
-	// Mode is "off" (nil sink), "metrics" (counters, gauges, histograms) or
-	// "trace" (metrics plus a full JSONL decision trace).
+	// Mode is "off" (nil sink), "metrics" (counters, gauges, histograms),
+	// "spans" (metrics plus span recording), "trace" (metrics plus a full
+	// JSONL decision trace) or "scrape" (spans plus a goroutine hammering
+	// the debug server's /metrics endpoint throughout the measured window).
 	Mode          string `json:"mode"`
 	StepsMeasured int    `json:"steps_measured"`
 	WallNs        int64  `json:"wall_ns"`
@@ -91,6 +96,9 @@ type TelemetryBenchRow struct {
 	// TraceEvents/TraceBytes size the trace the run emitted (trace mode).
 	TraceEvents int64 `json:"trace_events,omitempty"`
 	TraceBytes  int64 `json:"trace_bytes,omitempty"`
+	// Scrapes counts the /metrics GETs completed during the measured window
+	// (scrape mode).
+	Scrapes int64 `json:"scrapes,omitempty"`
 }
 
 // TelemetryBenchResult is the payload of BENCH_telemetry.json.
@@ -174,13 +182,18 @@ func stepTelemetry(e *scaleEngine, bufs []telemetryTraceBuf, tel *telemetry.Tele
 			e.strat.Observe(t, n, m, st.normBuf[:])
 		}
 	})
+	decideEnd := tel.Now()
 	if tel != nil && tr.StepActive(t) {
 		tr.Emit(&telemetry.Event{Type: telemetry.EventPhase, Step: t,
-			Phase: &telemetry.PhaseEvent{Name: "decide", NS: tel.Now() - decideStart}})
+			Phase: &telemetry.PhaseEvent{Name: "decide", NS: decideEnd - decideStart}})
 	}
-	tel.ObserveSince(telemetry.HistDecideNS, decideStart)
+	tel.Observe(telemetry.HistDecideNS, decideEnd-decideStart)
+	// Span parents re-derive the step root the way the engine does: pure
+	// hashes, so the spans mode pays exactly the engine's recording cost.
+	stepSpan := telemetry.DeriveSpanID(telemetry.SpanStep, t, -1, -1)
+	tel.RecordSpan(telemetry.SpanDecide, stepSpan, t, -1, -1, decideStart, decideEnd)
 
-	finStart := tel.Now()
+	finStart := decideEnd
 	total := int64(0)
 	for n := range e.decide {
 		st := &e.decide[n]
@@ -205,16 +218,50 @@ func stepTelemetry(e *scaleEngine, bufs []telemetryTraceBuf, tel *telemetry.Tele
 			buf.members = buf.members[:0]
 		}
 	}
-	tel.ObserveSince(telemetry.HistAggregateNS, finStart)
+	finEnd := tel.Now()
+	tel.Observe(telemetry.HistAggregateNS, finEnd-finStart)
+	tel.RecordSpan(telemetry.SpanFinalize, stepSpan, t, -1, -1, finStart, finEnd)
 	e.cloudRound(t)
 	tel.Add(telemetry.CounterSteps, 1)
-	tel.ObserveSince(telemetry.HistStepNS, stepStart)
+	stepEnd := tel.Now()
+	tel.Observe(telemetry.HistStepNS, stepEnd-stepStart)
+	tel.RecordSpan(telemetry.SpanStep, 0, t, -1, -1, stepStart, stepEnd)
 	return total
 }
 
-// measureTelemetryMode runs the full workload in one mode and measures the
-// timed window between two MemStats snapshots.
+// telemetryBenchReps is how many times each mode's workload is repeated;
+// the fastest repetition is recorded. The measured window is only ~30 steps,
+// short enough that scheduler noise on a shared core can swamp the mode
+// deltas — the minimum over a few runs is the standard noise-rejecting
+// estimator, and determinism makes every repetition the same workload.
+const telemetryBenchReps = 3
+
+// measureTelemetryMode runs the full workload telemetryBenchReps times in one
+// mode and returns the fastest repetition's measurements.
 func measureTelemetryMode(cfg TelemetryBenchConfig, mode string) (TelemetryBenchRow, int64, error) {
+	var best TelemetryBenchRow
+	var bestSampled int64
+	for rep := 0; rep < telemetryBenchReps; rep++ {
+		row, sampled, err := measureTelemetryOnce(cfg, mode)
+		if err != nil {
+			return TelemetryBenchRow{}, 0, err
+		}
+		if rep > 0 && sampled != bestSampled {
+			return TelemetryBenchRow{}, 0, fmt.Errorf(
+				"bench: telemetry %s rep %d sampled %d devices, rep 0 sampled %d — nondeterministic workload",
+				mode, rep, sampled, bestSampled)
+		}
+		if rep == 0 || row.WallNs < best.WallNs {
+			best = row
+		}
+		bestSampled = sampled
+	}
+	return best, bestSampled, nil
+}
+
+// measureTelemetryOnce runs the full workload in one mode and measures the
+// timed window between two MemStats snapshots.
+func measureTelemetryOnce(cfg TelemetryBenchConfig, mode string) (TelemetryBenchRow, int64, error) {
 	scfg := cfg.scaleConfig()
 	cell := scfg.Cells[0]
 	totalSteps := cfg.WarmupSteps + cfg.Steps
@@ -230,6 +277,9 @@ func measureTelemetryMode(cfg TelemetryBenchConfig, mode string) (TelemetryBench
 	case "off":
 	case "metrics":
 		tel = telemetry.New()
+	case "spans", "scrape":
+		tel = telemetry.New()
+		tel.EnableSpans(true)
 	case "trace":
 		tel = telemetry.New()
 		sink = &countingWriter{}
@@ -241,6 +291,14 @@ func measureTelemetryMode(cfg TelemetryBenchConfig, mode string) (TelemetryBench
 	workers := scfg.workers()
 	for t := 0; t < cfg.WarmupSteps; t++ {
 		stepTelemetry(eng, bufs, tel, t, workers)
+	}
+	var scraper *metricsScraper
+	if mode == "scrape" {
+		s, err := startMetricsScraper(tel)
+		if err != nil {
+			return TelemetryBenchRow{}, 0, err
+		}
+		scraper = s
 	}
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -269,13 +327,72 @@ func measureTelemetryMode(cfg TelemetryBenchConfig, mode string) (TelemetryBench
 		row.TraceEvents = trace.Events()
 		row.TraceBytes = sink.n
 	}
+	if scraper != nil {
+		row.Scrapes = scraper.stop()
+		if row.Scrapes == 0 {
+			return TelemetryBenchRow{}, 0, fmt.Errorf("bench: scrape mode completed no /metrics scrapes")
+		}
+	}
 	return row, sampled, nil
 }
 
-// RunTelemetryBench measures the workload with telemetry off, with metrics
-// only, and with a full decision trace. Beyond the overhead numbers it is a
-// determinism check: all three modes must sample exactly the same devices,
-// since telemetry never feeds back into the simulation.
+// metricsScraper hammers a real debug server's /metrics endpoint from a
+// background goroutine, so the scrape row prices serving the Prometheus
+// exposition concurrently with the run — snapshot, encode and HTTP included.
+type metricsScraper struct {
+	srv    *telemetry.DebugServer
+	done   chan struct{}
+	closed chan struct{}
+	n      atomic.Int64
+	errs   atomic.Int64
+}
+
+func startMetricsScraper(tel *telemetry.Telemetry) (*metricsScraper, error) {
+	srv, err := telemetry.StartDebugServer("127.0.0.1:0", tel)
+	if err != nil {
+		return nil, fmt.Errorf("bench: scrape server: %w", err)
+	}
+	s := &metricsScraper{srv: srv, done: make(chan struct{}), closed: make(chan struct{})}
+	url := "http://" + srv.Addr + "/metrics"
+	go func() {
+		defer close(s.closed)
+		client := &http.Client{}
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			resp, err := client.Get(url)
+			if err != nil {
+				s.errs.Add(1)
+				continue
+			}
+			_, err = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close() //machlint:allow errdrop scrape loop: a close failure just ends this probe; the next GET reports it
+			if err != nil || resp.StatusCode != http.StatusOK {
+				s.errs.Add(1)
+				continue
+			}
+			s.n.Add(1)
+		}
+	}()
+	return s, nil
+}
+
+// stop halts the scrape loop and tears the server down, returning the number
+// of successful scrapes.
+func (s *metricsScraper) stop() int64 {
+	close(s.done)
+	<-s.closed
+	s.srv.Close() //machlint:allow errdrop bench teardown; scrape counts were already collected
+	return s.n.Load()
+}
+
+// RunTelemetryBench measures the workload once per observability tier.
+// Beyond the overhead numbers it is a determinism check: every mode must
+// sample exactly the same devices, since telemetry never feeds back into the
+// simulation.
 func RunTelemetryBench(cfg TelemetryBenchConfig) (*TelemetryBenchResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -288,7 +405,7 @@ func RunTelemetryBench(cfg TelemetryBenchConfig) (*TelemetryBenchResult, error) 
 		Config:     cfg,
 	}
 	var offWall, offSampled int64
-	for _, mode := range []string{"off", "metrics", "trace"} {
+	for _, mode := range []string{"off", "metrics", "spans", "trace", "scrape"} {
 		row, sampled, err := measureTelemetryMode(cfg, mode)
 		if err != nil {
 			return nil, fmt.Errorf("bench: telemetry %s: %w", mode, err)
@@ -327,16 +444,16 @@ func RenderTelemetryBench(w io.Writer, r *TelemetryBenchResult) error {
 		r.Config.Participation, r.Config.Seed); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%8s %12s %12s %13s %14s %12s %10s %12s %12s\n",
+	if _, err := fmt.Fprintf(w, "%8s %12s %12s %13s %14s %12s %10s %12s %12s %9s\n",
 		"mode", "ns/step", "ns/dev-dec", "allocs/step", "bytes/step", "sampled/step",
-		"overhead", "events", "trace B"); err != nil {
+		"overhead", "events", "trace B", "scrapes"); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
-		if _, err := fmt.Fprintf(w, "%8s %12d %12.1f %13.1f %14.0f %12.1f %9.2f%% %12d %12d\n",
+		if _, err := fmt.Fprintf(w, "%8s %12d %12.1f %13.1f %14.0f %12.1f %9.2f%% %12d %12d %9d\n",
 			row.Mode, row.NsPerStep, row.NsPerDeviceDecision, row.AllocsPerStep,
 			row.BytesPerStep, row.SampledPerStep, row.OverheadVsOff,
-			row.TraceEvents, row.TraceBytes); err != nil {
+			row.TraceEvents, row.TraceBytes, row.Scrapes); err != nil {
 			return err
 		}
 	}

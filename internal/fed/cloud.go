@@ -209,6 +209,10 @@ func (c *Cloud) Run() (*metrics.History, error) {
 	prevComm := c.comm.Load()
 	for t := 0; t < c.cfg.Steps; t++ {
 		stepStart := c.tel.Now()
+		// stepSpan parents every span the cloud opens this step. It is a pure
+		// hash of (kind, step), so it is computed unconditionally — on and off
+		// runs execute the same code and put the same bytes on the wire.
+		stepSpan := telemetry.DeriveSpanID(telemetry.SpanStep, t, -1, -1)
 		cloudRound := (t+1)%c.cfg.CloudInterval == 0
 		var blob codec.Blob
 		var blobID uint64
@@ -237,6 +241,7 @@ func (c *Cloud) Run() (*metrics.History, error) {
 					Capacity:  capacity,
 					Scheme:    c.cfg.Codec,
 					WantModel: cloudRound && !raw,
+					Span:      SpanContext{Parent: uint64(telemetry.DeriveSpanID(telemetry.SpanRPCEdgeStep, t, n, -1))},
 				}
 				if resetParams {
 					if raw {
@@ -250,7 +255,10 @@ func (c *Cloud) Run() (*metrics.History, error) {
 				}
 				var rep EdgeStepReply
 				c.tel.Add(telemetry.CounterRPCCalls, 1)
-				if err := c.edges[n].Call("Edge.Step", args, &rep); err != nil {
+				sp := c.tel.StartSpan(telemetry.SpanRPCEdgeStep, stepSpan, t, n, -1)
+				err := c.edges[n].Call("Edge.Step", args, &rep)
+				sp.End()
+				if err != nil {
 					errs[n] = err
 					return
 				}
@@ -278,12 +286,21 @@ func (c *Cloud) Run() (*metrics.History, error) {
 		resetParams = false
 
 		if cloudRound {
+			reduceSp := c.tel.StartSpan(telemetry.SpanCloudReduce, stepSpan, t, -1, -1)
 			c.aggregate(t, edgeParams)
+			reduceSp.End()
 			resetParams = true
 			for i, host := range c.deviceHosts {
 				var rep CloudRoundReply
 				c.tel.Add(telemetry.CounterRPCCalls, 1)
-				if err := host.Call("Device.CloudRound", CloudRoundArgs{Step: t + 1}, &rep); err != nil {
+				crArgs := CloudRoundArgs{
+					Step: t + 1,
+					Span: SpanContext{Parent: uint64(telemetry.DeriveSpanID(telemetry.SpanRPCCloudRound, t, -1, i))},
+				}
+				sp := c.tel.StartSpan(telemetry.SpanRPCCloudRound, stepSpan, t, -1, i)
+				err := host.Call("Device.CloudRound", crArgs, &rep)
+				sp.End()
+				if err != nil {
 					return nil, fmt.Errorf("fed: cloud round on host %d: %w", i, err)
 				}
 			}
@@ -301,13 +318,17 @@ func (c *Cloud) Run() (*metrics.History, error) {
 			x, y := c.test.All()
 			acc, loss := c.evalNet.Evaluate(x, y)
 			hist.Add(metrics.Point{Step: t + 1, Accuracy: acc, Loss: loss})
-			c.tel.ObserveSince(telemetry.HistEvalNS, evalStart)
+			evalEnd := c.tel.Now()
+			c.tel.Observe(telemetry.HistEvalNS, evalEnd-evalStart)
+			c.tel.RecordSpan(telemetry.SpanEval, stepSpan, t, -1, -1, evalStart, evalEnd)
 			c.tel.Add(telemetry.CounterEvals, 1)
 			c.tel.SetGauge(telemetry.GaugeAccuracy, acc)
 			c.tel.SetGauge(telemetry.GaugeLoss, loss)
 		}
 		c.tel.Add(telemetry.CounterSteps, 1)
-		c.tel.ObserveSince(telemetry.HistStepNS, stepStart)
+		stepEnd := c.tel.Now()
+		c.tel.Observe(telemetry.HistStepNS, stepEnd-stepStart)
+		c.tel.RecordSpan(telemetry.SpanStep, 0, t, -1, -1, stepStart, stepEnd)
 		if comm := c.comm.Load(); comm != prevComm {
 			c.tel.Add(telemetry.CounterCloudBytes, comm-prevComm)
 			prevComm = comm

@@ -140,6 +140,8 @@ func (s *DeviceServer) Ping(_ PingArgs, reply *PingReply) error {
 // stale.
 func (s *DeviceServer) Estimate(args EstimateArgs, reply *EstimateReply) error {
 	s.tel.Add(telemetry.CounterRPCCalls, 1)
+	sp := s.tel.StartSpan(telemetry.SpanHandleEstimate, telemetry.SpanID(args.Span.Parent), args.Step, -1, -1)
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	reply.Estimates = make([]float64, len(args.Devices))
@@ -177,6 +179,8 @@ func (s *DeviceServer) ClassDist(args ClassDistArgs, reply *ClassDistReply) erro
 // exactly one edge per step) guarantees in a correct deployment.
 func (s *DeviceServer) Train(args TrainArgs, reply *TrainReply) error {
 	s.tel.Add(telemetry.CounterRPCCalls, 1)
+	sp := s.tel.StartSpan(telemetry.SpanHandleTrain, telemetry.SpanID(args.Span.Parent), args.Step, -1, args.Device)
+	defer sp.End()
 	s.mu.Lock()
 	dev, ok := s.devices[args.Device]
 	s.mu.Unlock()
@@ -219,6 +223,8 @@ func (s *DeviceServer) trainOne(dev *hostedDevice, id int, base []float64, hyper
 // holds at most one vector per edge between steps.
 func (s *DeviceServer) SetBase(args SetBaseArgs, reply *SetBaseReply) error {
 	s.tel.Add(telemetry.CounterRPCCalls, 1)
+	sp := s.tel.StartSpan(telemetry.SpanHandleSetBase, telemetry.SpanID(args.Span.Parent), -1, args.Edge, -1)
+	defer sp.End()
 	params, err := codec.Decode(args.Model, nil)
 	if err != nil {
 		return fmt.Errorf("fed: set base for edge %d: %w", args.Edge, err)
@@ -234,6 +240,8 @@ func (s *DeviceServer) SetBase(args SetBaseArgs, reply *SetBaseReply) error {
 // so the caller recovers exactly what the hosted devices train from.
 func (s *DeviceServer) GetBase(args GetBaseArgs, reply *GetBaseReply) error {
 	s.tel.Add(telemetry.CounterRPCCalls, 1)
+	sp := s.tel.StartSpan(telemetry.SpanHandleGetBase, telemetry.SpanID(args.Span.Parent), -1, args.Edge, -1)
+	defer sp.End()
 	base, err := s.lookupBase(args.Edge, args.ID)
 	if err != nil {
 		return err
@@ -266,6 +274,8 @@ func (s *DeviceServer) lookupBase(edge int, id uint64) ([]float64, error) {
 // parallelism comes from the edge's concurrent dispatch.
 func (s *DeviceServer) TrainMany(args TrainManyArgs, reply *TrainManyReply) error {
 	s.tel.Add(telemetry.CounterRPCCalls, 1)
+	sp := s.tel.StartSpan(telemetry.SpanHandleTrainMany, telemetry.SpanID(args.Span.Parent), args.Step, args.Edge, -1)
+	defer sp.End()
 	if err := args.Scheme.Validate(); err != nil {
 		return err
 	}
@@ -333,6 +343,8 @@ func (s *DeviceServer) TrainMany(args TrainManyArgs, reply *TrainManyReply) erro
 // lines 2-4).
 func (s *DeviceServer) CloudRound(args CloudRoundArgs, reply *CloudRoundReply) error {
 	s.tel.Add(telemetry.CounterRPCCalls, 1)
+	sp := s.tel.StartSpan(telemetry.SpanHandleCloudRound, telemetry.SpanID(args.Span.Parent), args.Step, -1, -1)
+	defer sp.End()
 	s.book.CloudRound(args.Step)
 	*reply = CloudRoundReply{}
 	return nil

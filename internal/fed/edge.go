@@ -193,10 +193,19 @@ func (e *EdgeServer) groupByHost(members []int) (groups map[string][]int, addrs 
 	return groups, addrs, memberAddr, nil
 }
 
+// stepSpanID is the edge's handler-span ID for one step — the parent of
+// every client RPC span the edge opens while executing it. A pure hash, so
+// helpers re-derive it instead of threading the Span value around.
+func (e *EdgeServer) stepSpanID(step int) telemetry.SpanID {
+	return telemetry.DeriveSpanID(telemetry.SpanHandleEdgeStep, step, e.id, -1)
+}
+
 // Step implements the edge's share of Algorithm 1 for one time step.
 func (e *EdgeServer) Step(args EdgeStepArgs, reply *EdgeStepReply) error {
 	e.tel.Add(telemetry.CounterRPCCalls, 1)
 	stepStart := e.tel.Now()
+	sp := e.tel.StartSpan(telemetry.SpanHandleEdgeStep, telemetry.SpanID(args.Span.Parent), args.Step, e.id, -1)
+	defer sp.End()
 	defer e.tel.ObserveSince(telemetry.HistStepNS, stepStart)
 	e.tel.Observe(telemetry.HistEdgeMembers, int64(len(args.Members)))
 	if err := args.Scheme.Validate(); err != nil {
@@ -305,7 +314,7 @@ func (e *EdgeServer) finishStep(args EdgeStepArgs, sampled int, reply *EdgeStepR
 	if !args.WantModel {
 		return nil
 	}
-	if err := e.ensureParams(); err != nil {
+	if err := e.ensureParams(args.Step); err != nil {
 		return err
 	}
 	e.mu.Lock()
@@ -333,8 +342,9 @@ func (e *EdgeServer) finishStep(args EdgeStepArgs, sampled int, reply *EdgeStepR
 }
 
 // ensureParams makes e.params authoritative again after a host-side base
-// advance, by fetching the bits back (always lossless).
-func (e *EdgeServer) ensureParams() error {
+// advance, by fetching the bits back (always lossless). step labels the
+// fetch's RPC span with the step it serves.
+func (e *EdgeServer) ensureParams(step int) error {
 	e.mu.Lock()
 	if !e.stale {
 		e.mu.Unlock()
@@ -347,8 +357,13 @@ func (e *EdgeServer) ensureParams() error {
 		return err
 	}
 	var rep GetBaseReply
-	if err := c.Call("Device.GetBase", GetBaseArgs{Edge: e.id, ID: id}, &rep); err != nil {
-		return fmt.Errorf("fed: edge %d fetch base %d from %s: %w", e.id, id, addr, err)
+	sp := e.tel.StartSpan(telemetry.SpanRPCGetBase, e.stepSpanID(step), step, e.id, -1)
+	callErr := c.Call("Device.GetBase", GetBaseArgs{Edge: e.id, ID: id,
+		Span: SpanContext{Parent: uint64(telemetry.DeriveSpanID(telemetry.SpanRPCGetBase, step, e.id, -1))},
+	}, &rep)
+	sp.End()
+	if callErr != nil {
+		return fmt.Errorf("fed: edge %d fetch base %d from %s: %w", e.id, id, addr, callErr)
 	}
 	params, err := codec.Decode(rep.Model, nil)
 	if err != nil {
@@ -376,13 +391,18 @@ func (e *EdgeServer) fetchEstimates(step int, members []int, groups map[string][
 	}
 	replies := make([]EstimateReply, len(addrs))
 	errs := make([]error, len(addrs))
+	parent := e.stepSpanID(step)
 	var wg sync.WaitGroup
 	for i, addr := range addrs {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
+			sp := e.tel.StartSpan(telemetry.SpanRPCEstimate, parent, step, e.id, i)
 			errs[i] = clients[i].Call("Device.Estimate",
-				EstimateArgs{Step: step, Devices: groups[addr]}, &replies[i])
+				EstimateArgs{Step: step, Devices: groups[addr],
+					Span: SpanContext{Parent: uint64(telemetry.DeriveSpanID(telemetry.SpanRPCEstimate, step, e.id, i))},
+				}, &replies[i])
+			sp.End()
 		}(i, addr)
 	}
 	wg.Wait()
@@ -420,6 +440,7 @@ func (e *EdgeServer) trainRaw(step, totalSampled int, sampledAddrs []string, sam
 		err    error
 	}
 	results := make(map[string][]trainResult, len(sampledAddrs))
+	parent := e.stepSpanID(step)
 	var wg sync.WaitGroup
 	for _, addr := range sampledAddrs {
 		c, err := e.client(addr)
@@ -435,9 +456,12 @@ func (e *EdgeServer) trainRaw(step, totalSampled int, sampledAddrs []string, sam
 			go func(i, m int, c *rpc.Client) {
 				defer wg.Done()
 				var rep TrainReply
+				sp := e.tel.StartSpan(telemetry.SpanRPCTrain, parent, step, e.id, m)
 				err := c.Call("Device.Train", TrainArgs{
 					Step: step, Device: m, Params: base, Hyper: e.hyper,
+					Span: SpanContext{Parent: uint64(telemetry.DeriveSpanID(telemetry.SpanRPCTrain, step, e.id, m))},
 				}, &rep)
+				sp.End()
 				res[i] = trainResult{params: rep.Params, err: err}
 			}(i, m, c)
 		}
@@ -505,16 +529,16 @@ func (e *EdgeServer) trainCodec(args EdgeStepArgs, totalSampled int, sampledAddr
 		if e.installed[addr] == baseID {
 			continue
 		}
-		if err := e.ensureParams(); err != nil {
+		if err := e.ensureParams(args.Step); err != nil {
 			return err
 		}
-		if err := e.setBaseOn(addr, args.Scheme, baseID); err != nil {
+		if err := e.setBaseOn(args.Step, addr, args.Scheme, baseID); err != nil {
 			return err
 		}
 	}
 	if !advance {
 		// The sum path computes next = base + Σ/|sample| edge-side.
-		if err := e.ensureParams(); err != nil {
+		if err := e.ensureParams(args.Step); err != nil {
 			return err
 		}
 	}
@@ -545,16 +569,20 @@ func (e *EdgeServer) trainCodec(args EdgeStepArgs, totalSampled int, sampledAddr
 			Hyper:   e.hyper,
 			Advance: advance,
 			NextID:  nextID,
+			Span:    SpanContext{Parent: uint64(telemetry.DeriveSpanID(telemetry.SpanRPCTrainMany, args.Step, e.id, i))},
 		}
 	}
 	replies := make([]TrainManyReply, len(sampledAddrs))
 	errs := make([]error, len(sampledAddrs))
+	parent := e.stepSpanID(args.Step)
 	var wg sync.WaitGroup
 	for i := range sampledAddrs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sp := e.tel.StartSpan(telemetry.SpanRPCTrainMany, parent, args.Step, e.id, i)
 			errs[i] = clients[i].Call("Device.TrainMany", tmArgs[i], &replies[i])
+			sp.End()
 		}(i)
 	}
 	wg.Wait()
@@ -569,15 +597,18 @@ func (e *EdgeServer) trainCodec(args EdgeStepArgs, totalSampled int, sampledAddr
 		// happened before any training, so reinstall the base and retry
 		// once. A stale edge whose authoritative host forgot the base
 		// cannot recover: ensureParams surfaces that as its own error.
-		if err := e.ensureParams(); err != nil {
+		if err := e.ensureParams(args.Step); err != nil {
 			return err
 		}
-		if err := e.setBaseOn(addr, args.Scheme, baseID); err != nil {
+		if err := e.setBaseOn(args.Step, addr, args.Scheme, baseID); err != nil {
 			return err
 		}
 		replies[i] = TrainManyReply{}
-		if err := clients[i].Call("Device.TrainMany", tmArgs[i], &replies[i]); err != nil {
-			return fmt.Errorf("fed: edge %d training via %s: %w", e.id, addr, err)
+		sp := e.tel.StartSpan(telemetry.SpanRPCTrainMany, parent, args.Step, e.id, i)
+		retryErr := clients[i].Call("Device.TrainMany", tmArgs[i], &replies[i])
+		sp.End()
+		if retryErr != nil {
+			return fmt.Errorf("fed: edge %d training via %s: %w", e.id, addr, retryErr)
 		}
 	}
 
@@ -619,8 +650,8 @@ func (e *EdgeServer) trainCodec(args EdgeStepArgs, totalSampled int, sampledAddr
 
 // setBaseOn installs the edge's current base model on one host. A host that
 // lost its cache (restart) simply gets the full baseline-free blob again —
-// the vector IDs make the stream self-describing.
-func (e *EdgeServer) setBaseOn(addr string, scheme codec.Scheme, id uint64) error {
+// the vector IDs make the stream self-describing. step labels the RPC span.
+func (e *EdgeServer) setBaseOn(step int, addr string, scheme codec.Scheme, id uint64) error {
 	c, err := e.client(addr)
 	if err != nil {
 		return err
@@ -633,8 +664,13 @@ func (e *EdgeServer) setBaseOn(addr string, scheme codec.Scheme, id uint64) erro
 		return fmt.Errorf("fed: edge %d encode base: %w", e.id, err)
 	}
 	var rep SetBaseReply
-	if err := c.Call("Device.SetBase", SetBaseArgs{Edge: e.id, ID: id, Model: blob}, &rep); err != nil {
-		return fmt.Errorf("fed: edge %d set base on %s: %w", e.id, addr, err)
+	sp := e.tel.StartSpan(telemetry.SpanRPCSetBase, e.stepSpanID(step), step, e.id, -1)
+	callErr := c.Call("Device.SetBase", SetBaseArgs{Edge: e.id, ID: id, Model: blob,
+		Span: SpanContext{Parent: uint64(telemetry.DeriveSpanID(telemetry.SpanRPCSetBase, step, e.id, -1))},
+	}, &rep)
+	sp.End()
+	if callErr != nil {
+		return fmt.Errorf("fed: edge %d set base on %s: %w", e.id, addr, callErr)
 	}
 	e.downloads.Add(1)
 	e.installed[addr] = id

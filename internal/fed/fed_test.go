@@ -14,6 +14,7 @@ import (
 	"github.com/mach-fl/mach/internal/mobility"
 	"github.com/mach-fl/mach/internal/nn"
 	"github.com/mach-fl/mach/internal/sampling"
+	"github.com/mach-fl/mach/internal/telemetry"
 )
 
 func testArch(rng *rand.Rand) (*nn.Network, error) {
@@ -598,5 +599,79 @@ func TestTrainManyUnknownBaselineOverRPC(t *testing.T) {
 	}
 	if len(rep.SqNorms) != 1 || len(rep.SqNorms[0]) != 1 {
 		t.Fatalf("sqNorms %v", rep.SqNorms)
+	}
+}
+
+// TestSpanStitchingAcrossRPC verifies that the span context carried in RPC
+// args stitches the three tiers' span rings into one tree without any shared
+// sink: each server records into its own Telemetry, yet a handler span's
+// Parent equals the client span ID the caller derived on its side of the
+// wire, because both ends compute the same pure hash of (kind, step, edge,
+// device).
+func TestSpanStitchingAcrossRPC(t *testing.T) {
+	d := deploy(t, 6, 2, 6, 1, codec.SchemeDelta)
+	defer d.close()
+
+	telCloud := telemetry.New()
+	telCloud.EnableSpans(true)
+	d.cloud.SetTelemetry(telCloud)
+	telEdge := telemetry.New()
+	telEdge.EnableSpans(true)
+	d.edges[0].SetTelemetry(telEdge)
+	telDev := telemetry.New()
+	telDev.EnableSpans(true)
+	d.devices[0].SetTelemetry(telDev)
+
+	if _, err := d.cloud.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	byKind := func(spans []telemetry.SpanSnapshot, kind string) []telemetry.SpanSnapshot {
+		var out []telemetry.SpanSnapshot
+		for _, s := range spans {
+			if s.Kind == kind {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	// Cloud side: every client rpc_edge_step span hangs off its step's root
+	// span and has the derived ID the edge will use as its parent.
+	edgeSteps := byKind(telCloud.Spans(), "rpc_edge_step")
+	if len(edgeSteps) == 0 {
+		t.Fatal("cloud recorded no rpc_edge_step spans")
+	}
+	for _, s := range edgeSteps {
+		if want := uint64(telemetry.DeriveSpanID(telemetry.SpanStep, s.Step, -1, -1)); s.Parent != want {
+			t.Fatalf("rpc_edge_step step %d edge %d: parent %#x, want step span %#x", s.Step, s.Edge, s.Parent, want)
+		}
+		if want := uint64(telemetry.DeriveSpanID(telemetry.SpanRPCEdgeStep, s.Step, s.Edge, -1)); s.ID != want {
+			t.Fatalf("rpc_edge_step step %d edge %d: id %#x, want derived %#x", s.Step, s.Edge, s.ID, want)
+		}
+	}
+
+	// Edge side: the handler span's parent is the cloud's client span ID —
+	// carried across the wire in EdgeStepArgs.Span, never shared in memory.
+	handles := byKind(telEdge.Spans(), "handle_edge_step")
+	if len(handles) == 0 {
+		t.Fatal("edge recorded no handle_edge_step spans")
+	}
+	for _, s := range handles {
+		if want := uint64(telemetry.DeriveSpanID(telemetry.SpanRPCEdgeStep, s.Step, 0, -1)); s.Parent != want {
+			t.Fatalf("handle_edge_step step %d: parent %#x, want cloud rpc span %#x", s.Step, s.Parent, want)
+		}
+	}
+
+	// Device side: TrainMany handlers nest under the edge's per-host client
+	// span (host index 0 — the deployment has a single device host).
+	trains := byKind(telDev.Spans(), "handle_train_many")
+	if len(trains) == 0 {
+		t.Fatal("device host recorded no handle_train_many spans")
+	}
+	for _, s := range trains {
+		if want := uint64(telemetry.DeriveSpanID(telemetry.SpanRPCTrainMany, s.Step, s.Edge, 0)); s.Parent != want {
+			t.Fatalf("handle_train_many step %d edge %d: parent %#x, want edge rpc span %#x", s.Step, s.Edge, s.Parent, want)
+		}
 	}
 }

@@ -49,6 +49,16 @@ package fed
 
 import "github.com/mach-fl/mach/internal/codec"
 
+// SpanContext carries the caller's span ID in RPC args so the server-side
+// handler span nests under it in the stitched trace. Span IDs are pure
+// functions of (kind, step, edge, device) — telemetry.DeriveSpanID — so
+// callers populate the field unconditionally: the bytes on the wire do not
+// depend on whether either end records spans, which keeps runs bit-identical
+// with tracing on or off.
+type SpanContext struct {
+	Parent uint64
+}
+
 // Hyper carries the local-update hyperparameters of Eq. (4) to devices.
 type Hyper struct {
 	LocalEpochs  int
@@ -61,6 +71,7 @@ type Hyper struct {
 type EstimateArgs struct {
 	Step    int
 	Devices []int
+	Span    SpanContext
 }
 
 // EstimateReply returns the estimates aligned with EstimateArgs.Devices.
@@ -76,6 +87,7 @@ type TrainArgs struct {
 	Device int
 	Params []float64
 	Hyper  Hyper
+	Span   SpanContext
 }
 
 // TrainReply returns the updated local model and the squared norms of the
@@ -92,6 +104,7 @@ type SetBaseArgs struct {
 	Edge  int
 	ID    uint64
 	Model codec.Blob
+	Span  SpanContext
 }
 
 // SetBaseReply is empty.
@@ -115,6 +128,7 @@ type TrainManyArgs struct {
 	// cross the wire.
 	Advance bool
 	NextID  uint64
+	Span    SpanContext
 }
 
 // TrainManyReply returns the host's training results. Sum (present unless
@@ -133,6 +147,7 @@ type TrainManyReply struct {
 type GetBaseArgs struct {
 	Edge int
 	ID   uint64
+	Span SpanContext
 }
 
 // GetBaseReply carries the requested base model.
@@ -144,6 +159,7 @@ type GetBaseReply struct {
 // at step T, so experience buffers fold (Algorithm 2, lines 2-4).
 type CloudRoundArgs struct {
 	Step int
+	Span SpanContext
 }
 
 // CloudRoundReply is empty.
@@ -180,6 +196,7 @@ type EdgeStepArgs struct {
 	// WantModel asks the edge to return its model in the reply. The cloud
 	// sets it at cloud rounds; on the raw path the model is always returned.
 	WantModel bool
+	Span      SpanContext
 }
 
 // EdgeStepReply returns how many devices trained, plus the updated edge

@@ -164,6 +164,10 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 		// boundary mid-step, so the cross-shard interleaving cannot reach a
 		// value (DESIGN.md §11).
 		stepStart := e.tel.Now()
+		// stepSpan parents the step's phase spans. Deriving it is a pure hash
+		// (no clock, no allocation), so it runs unconditionally and the span
+		// machinery costs nothing until EnableSpans turns recording on.
+		stepSpan := telemetry.DeriveSpanID(telemetry.SpanStep, t, -1, -1)
 		// One mobility advance per step, on the engine goroutine: the shards
 		// then repair their member indexes from the bucketed move stream
 		// (read-only to them) inside the step command.
@@ -209,7 +213,9 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 
 		cloudRound := (t+1)%e.cfg.CloudInterval == 0
 		if cloudRound {
+			reduceSp := e.tel.StartSpan(telemetry.SpanCloudReduce, stepSpan, t, -1, -1)
 			e.cloudAggregate(t)
+			reduceSp.End()
 			// Every edge uploads its model and downloads the new global.
 			res.Comm.CloudBytes += 2 * int64(e.nEdges) * modelBytes
 			res.Comm.CloudTransfers += 2 * int64(e.nEdges)
@@ -244,7 +250,7 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("hfl: step %d: %w", t, err)
 			}
-			e.observePhase(t, telemetry.HistEvalNS, "eval", evalStart)
+			e.observePhase(t, telemetry.HistEvalNS, "eval", telemetry.SpanEval, evalStart)
 			lastAcc = acc
 			if e.tel != nil {
 				e.tel.Add(telemetry.CounterEvals, 1)
@@ -264,21 +270,26 @@ func (e *Engine) Run(opts ...RunOption) (*Result, error) {
 			}
 		}
 		e.tel.Add(telemetry.CounterSteps, 1)
-		e.tel.ObserveSince(telemetry.HistStepNS, stepStart)
+		stepEnd := e.tel.Now()
+		e.tel.Observe(telemetry.HistStepNS, stepEnd-stepStart)
+		e.tel.RecordSpan(telemetry.SpanStep, 0, t, -1, -1, stepStart, stepEnd)
 	}
 	emitDone()
 	return res, nil
 }
 
-// observePhase records one phase's duration in its histogram and — when the
-// trace records this step — as a phase event. With no telemetry attached it
-// does nothing (and, via the nil clock, reads no time at all).
-func (e *Engine) observePhase(t int, h telemetry.Hist, name string, start int64) {
+// observePhase records one phase's duration in its histogram, as a span of
+// the given kind under the step span, and — when the trace records this
+// step — as a phase event. With no telemetry attached it does nothing (and,
+// via the nil clock, reads no time at all).
+func (e *Engine) observePhase(t int, h telemetry.Hist, name string, kind telemetry.SpanKind, start int64) {
 	if e.tel == nil {
 		return
 	}
-	ns := e.tel.Now() - start
+	end := e.tel.Now()
+	ns := end - start
 	e.tel.Observe(h, ns)
+	e.tel.RecordSpan(kind, telemetry.DeriveSpanID(telemetry.SpanStep, t, -1, -1), t, -1, -1, start, end)
 	if tr := e.tel.Trace(); tr.StepActive(t) {
 		tr.Emit(&telemetry.Event{Type: telemetry.EventPhase, Step: t, Phase: &telemetry.PhaseEvent{Name: name, NS: ns}})
 	}

@@ -200,6 +200,16 @@ func (s *shardState) exec(cmd shardCmd) {
 			s.hasPanic, s.panicked = true, r
 		}
 	}()
+	// The span reuses the edge dimension for the shard id and the device
+	// dimension for the opcode, which keeps command spans of the same step
+	// distinguishable. Step commands nest under the step span; the cloud
+	// commands carry no step and stay roots.
+	parent := telemetry.SpanID(0)
+	if cmd.op == opStep {
+		parent = telemetry.DeriveSpanID(telemetry.SpanStep, cmd.t, -1, -1)
+	}
+	sp := s.e.tel.StartSpan(telemetry.SpanShardCmd, parent, cmd.t, s.id, int(cmd.op))
+	defer sp.End()
 	switch cmd.op {
 	case opStep:
 		s.step(cmd.t)
@@ -239,6 +249,11 @@ func (s *shardState) step(t int) {
 	}
 	decideEnd := e.tel.Now()
 	s.decideNS = decideEnd - start
+	// Phase spans reuse the timestamps already taken for the phase
+	// histograms — no extra clock reads — and nest under this shard's step
+	// command span (edge dimension = shard id, as in exec).
+	cmdSpan := telemetry.DeriveSpanID(telemetry.SpanShardCmd, t, s.id, int(opStep))
+	e.tel.RecordSpan(telemetry.SpanDecide, cmdSpan, t, s.id, -1, start, decideEnd)
 	if s.decideErr != nil {
 		return // the engine aborts the run; skip execution like the monolith
 	}
@@ -263,6 +278,7 @@ func (s *shardState) step(t int) {
 	g.Wait()
 	trainEnd := e.tel.Now()
 	s.trainNS = trainEnd - decideEnd
+	e.tel.RecordSpan(telemetry.SpanTrain, cmdSpan, t, s.id, -1, decideEnd, trainEnd)
 	for n := s.lo; n < s.hi; n++ {
 		counts, err := e.edgeFinalize(t, n, s)
 		s.counts[n-s.lo] = counts
@@ -271,7 +287,9 @@ func (s *shardState) step(t int) {
 			break
 		}
 	}
-	s.finalNS = e.tel.Now() - trainEnd
+	finalEnd := e.tel.Now()
+	s.finalNS = finalEnd - trainEnd
+	e.tel.RecordSpan(telemetry.SpanFinalize, cmdSpan, t, s.id, -1, trainEnd, finalEnd)
 }
 
 // cloudPartials computes the shard's per-group partial sums of Eq. (6):

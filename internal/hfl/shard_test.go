@@ -2,6 +2,7 @@ package hfl
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"github.com/mach-fl/mach/internal/sampling"
@@ -255,8 +256,17 @@ func TestShardedTelemetryDoesNotPerturbRun(t *testing.T) {
 	var traceBuf bytes.Buffer
 	tel := telemetry.New()
 	tel.SetTrace(telemetry.NewTrace(&traceBuf, telemetry.TraceConfig{}))
+	tel.EnableSpans(true)
 	res, params := run(tel)
 	requireIdenticalRuns(t, "telemetry-on", res, refRes, params, refParams)
+
+	// A second traced run, spans off, must produce the byte-identical trace:
+	// span recording is purely additive.
+	var traceBuf2 bytes.Buffer
+	tel2 := telemetry.New()
+	tel2.SetTrace(telemetry.NewTrace(&traceBuf2, telemetry.TraceConfig{}))
+	res2, params2 := run(tel2)
+	requireIdenticalRuns(t, "spans-off", res2, refRes, params2, refParams)
 
 	snap := tel.Snapshot()
 	if len(snap.Shards) != 3 {
@@ -273,10 +283,45 @@ func TestShardedTelemetryDoesNotPerturbRun(t *testing.T) {
 			}
 		}
 	}
+	// Spans-on recorded the engine span kinds with matching step cadence.
+	for _, kind := range []string{"span_step_ns", "span_decide_ns", "span_train_ns", "span_finalize_ns", "span_shard_cmd_ns", "span_cloud_reduce_ns"} {
+		if h := snap.Histograms[kind]; h.Count == 0 {
+			t.Fatalf("spans enabled but %s has no observations", kind)
+		}
+	}
+	if got, steps := snap.Histograms["span_step_ns"].Count, snap.Counters["steps"]; got != steps {
+		t.Fatalf("span_step_ns count = %d, want one per step (%d)", got, steps)
+	}
+	if len(tel.Spans()) == 0 {
+		t.Fatal("span ring is empty after a spans-on run")
+	}
 	if err := tel.Trace().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel2.Trace().Close(); err != nil {
 		t.Fatal(err)
 	}
 	if traceBuf.Len() == 0 {
 		t.Fatal("trace produced no events")
 	}
+	// Phase events carry measured durations, which legitimately differ
+	// between runs; every other event — decisions above all — must be
+	// byte-identical whether or not spans were recorded.
+	if a, b := dropPhaseEvents(traceBuf.String()), dropPhaseEvents(traceBuf2.String()); a != b {
+		t.Fatalf("decision trace differs between spans-on and spans-off runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// dropPhaseEvents removes phase-event lines from a JSONL trace, keeping
+// run/decision/eval/estimator/done events verbatim.
+func dropPhaseEvents(trace string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(trace, "\n") {
+		if strings.HasPrefix(line, `{"type":"phase"`) {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Hand-rolled JSONL encoding for trace events. encoding/json walks every
+// event through reflection and allocates per field; at 10k-device scale a
+// decision event carries tens of thousands of floats and the engine emits
+// hundreds of events per step, which made trace mode ~12× slower than the
+// untraced run (620 allocs/step, see BENCH_telemetry.json history). The
+// appendEvent family writes the same bytes — field order, omitempty
+// semantics, HTML escaping, shortest-round-trip floats — into a caller-
+// pooled buffer instead, so the steady-state trace path allocates nothing
+// and the wall cost is the unavoidable digit formatting. Byte identity
+// with encoding/json is pinned by TestAppendEventMatchesEncodingJSON; the
+// committed golden traces depend on it.
+
+// errUnsupportedFloat mirrors encoding/json's refusal to encode NaN and
+// infinities; the first such value poisons the trace like a write error.
+var errUnsupportedFloat = errors.New("telemetry: unsupported float value (NaN or Inf) in trace event")
+
+// floatMemo caches the formatted bytes of recently seen float64 values,
+// keyed by bit pattern. Shortest-round-trip digit generation is the single
+// largest cost of a full decision trace (~85% of the residual overhead once
+// encoding stopped allocating — see BENCH_telemetry.json history), and the
+// estimate columns repeat heavily across steps: an experience estimate only
+// changes when its device is sampled, so at 10% participation ~90% of the
+// values in each event were already formatted in a recent one. A direct-
+// mapped table turns those repeats into a copy. Coins are excluded by the
+// caller: every coin is a fresh 53-bit draw, so they can only evict useful
+// entries. The memo changes where bytes come from, never what they are —
+// hits replay exactly what appendJSONFloat wrote when the entry was filled.
+type floatMemo struct {
+	bits [memoSlots]uint64
+	n    [memoSlots]uint8
+	buf  [memoSlots][memoMax]byte
+}
+
+const (
+	memoSlotBits = 14
+	memoSlots    = 1 << memoSlotBits
+	// memoMax covers every fixed-notation shortest float: 17 significant
+	// digits, a sign, a decimal point and up to five leading zeros. Longer
+	// renderings (exponent form only appears outside [1e-6, 1e21)) bypass
+	// the memo.
+	memoMax = 24
+)
+
+// appendFloat formats f via the memo. Bit pattern zero doubles as the empty
+// slot marker; +0 formats as the single byte '0' anyway, so it takes the
+// direct path instead of occupying a slot.
+func (m *floatMemo) appendFloat(b []byte, f float64) ([]byte, error) {
+	bits := math.Float64bits(f)
+	if m == nil || bits == 0 {
+		return appendJSONFloat(b, f)
+	}
+	idx := (bits * 0x9E3779B97F4A7C15) >> (64 - memoSlotBits)
+	if m.bits[idx] == bits {
+		return append(b, m.buf[idx][:m.n[idx]]...), nil
+	}
+	start := len(b)
+	b, err := appendJSONFloat(b, f)
+	if err != nil {
+		return b, err
+	}
+	if n := len(b) - start; n <= memoMax {
+		m.bits[idx] = bits
+		m.n[idx] = uint8(n)
+		copy(m.buf[idx][:], b[start:])
+	}
+	return b, nil
+}
+
+// appendEvent appends ev's JSON object (no trailing newline) to b. The memo
+// may be nil (no caching); it only accelerates the decision-event estimate
+// column.
+func appendEvent(b []byte, ev *Event, memo *floatMemo) ([]byte, error) {
+	var err error
+	b = append(b, `{"type":`...)
+	b = appendJSONString(b, ev.Type)
+	b = append(b, `,"step":`...)
+	b = strconv.AppendInt(b, int64(ev.Step), 10)
+	if ev.Run != nil {
+		b = append(b, `,"run":`...)
+		if b, err = appendRunEvent(b, ev.Run); err != nil {
+			return b, err
+		}
+	}
+	if ev.Decision != nil {
+		b = append(b, `,"decision":`...)
+		if b, err = appendDecisionEvent(b, ev.Decision, memo); err != nil {
+			return b, err
+		}
+	}
+	if ev.Phase != nil {
+		b = append(b, `,"phase":`...)
+		b = appendPhaseEvent(b, ev.Phase)
+	}
+	if ev.Eval != nil {
+		b = append(b, `,"eval":`...)
+		if b, err = appendEvalEvent(b, ev.Eval); err != nil {
+			return b, err
+		}
+	}
+	if ev.Estimator != nil {
+		b = append(b, `,"estimator":`...)
+		b = appendEstimatorEvent(b, ev.Estimator)
+	}
+	if ev.Done != nil {
+		b = append(b, `,"done":`...)
+		if b, err = appendDoneEvent(b, ev.Done); err != nil {
+			return b, err
+		}
+	}
+	return append(b, '}'), nil
+}
+
+func appendRunEvent(b []byte, e *RunEvent) ([]byte, error) {
+	var err error
+	b = append(b, `{"strategy":`...)
+	b = appendJSONString(b, e.Strategy)
+	b = append(b, `,"seed":`...)
+	b = strconv.AppendInt(b, e.Seed, 10)
+	b = append(b, `,"devices":`...)
+	b = strconv.AppendInt(b, int64(e.Devices), 10)
+	b = append(b, `,"edges":`...)
+	b = strconv.AppendInt(b, int64(e.Edges), 10)
+	b = append(b, `,"steps":`...)
+	b = strconv.AppendInt(b, int64(e.Steps), 10)
+	b = append(b, `,"capacity":`...)
+	if b, err = appendJSONFloat(b, e.Capacity); err != nil {
+		return b, err
+	}
+	b = append(b, `,"every":`...)
+	b = strconv.AppendInt(b, int64(e.Every), 10)
+	if e.MaxEdges != 0 {
+		b = append(b, `,"max_edges":`...)
+		b = strconv.AppendInt(b, int64(e.MaxEdges), 10)
+	}
+	return append(b, '}'), nil
+}
+
+func appendDecisionEvent(b []byte, e *DecisionEvent, memo *floatMemo) ([]byte, error) {
+	var err error
+	b = append(b, `{"edge":`...)
+	b = strconv.AppendInt(b, int64(e.Edge), 10)
+	b = append(b, `,"members":`...)
+	b = appendIntSlice(b, e.Members)
+	if len(e.Estimates) > 0 {
+		b = append(b, `,"estimates":`...)
+		if b, err = appendFloatSlice(b, e.Estimates, memo); err != nil {
+			return b, err
+		}
+	}
+	// Probs and coins bypass the memo: coins are fresh full-entropy draws,
+	// and normalization makes most probabilities unique per step — caching
+	// either would mostly evict the estimate entries that do repeat.
+	b = append(b, `,"probs":`...)
+	if b, err = appendFloatSlice(b, e.Probs, nil); err != nil {
+		return b, err
+	}
+	b = append(b, `,"coins":`...)
+	if b, err = appendFloatSlice(b, e.Coins, nil); err != nil {
+		return b, err
+	}
+	b = append(b, `,"sampled":`...)
+	b = appendIntSlice(b, e.Sampled)
+	if len(e.Dropped) > 0 {
+		b = append(b, `,"dropped":`...)
+		b = appendIntSlice(b, e.Dropped)
+	}
+	return append(b, '}'), nil
+}
+
+func appendPhaseEvent(b []byte, e *PhaseEvent) []byte {
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, e.Name)
+	b = append(b, `,"ns":`...)
+	b = strconv.AppendInt(b, e.NS, 10)
+	if e.Shard != 0 {
+		b = append(b, `,"shard":`...)
+		b = strconv.AppendInt(b, int64(e.Shard), 10)
+	}
+	return append(b, '}')
+}
+
+func appendEvalEvent(b []byte, e *EvalEvent) ([]byte, error) {
+	var err error
+	b = append(b, `{"accuracy":`...)
+	if b, err = appendJSONFloat(b, e.Accuracy); err != nil {
+		return b, err
+	}
+	b = append(b, `,"loss":`...)
+	if b, err = appendJSONFloat(b, e.Loss); err != nil {
+		return b, err
+	}
+	return append(b, '}'), nil
+}
+
+func appendEstimatorEvent(b []byte, e *EstimatorEvent) []byte {
+	b = append(b, `{"devices":`...)
+	b = strconv.AppendInt(b, int64(e.Devices), 10)
+	b = append(b, `,"never_pulled":`...)
+	b = strconv.AppendInt(b, int64(e.NeverPulled), 10)
+	b = append(b, `,"total_pulls":`...)
+	b = strconv.AppendInt(b, int64(e.TotalPulls), 10)
+	b = append(b, `,"max_pulls":`...)
+	b = strconv.AppendInt(b, int64(e.MaxPulls), 10)
+	return append(b, '}')
+}
+
+func appendDoneEvent(b []byte, e *DoneEvent) ([]byte, error) {
+	var err error
+	b = append(b, `{"steps_run":`...)
+	b = strconv.AppendInt(b, int64(e.StepsRun), 10)
+	b = append(b, `,"total_sampled":`...)
+	b = strconv.AppendInt(b, int64(e.TotalSampled), 10)
+	b = append(b, `,"final_accuracy":`...)
+	if b, err = appendJSONFloat(b, e.FinalAccuracy); err != nil {
+		return b, err
+	}
+	return append(b, '}'), nil
+}
+
+// appendIntSlice writes s as a JSON array; a nil slice writes null, exactly
+// as encoding/json does for a non-omitempty field.
+func appendIntSlice(b []byte, s []int) []byte {
+	if s == nil {
+		return append(b, "null"...)
+	}
+	b = append(b, '[')
+	for i, v := range s {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return append(b, ']')
+}
+
+func appendFloatSlice(b []byte, s []float64, memo *floatMemo) ([]byte, error) {
+	if s == nil {
+		return append(b, "null"...), nil
+	}
+	var err error
+	b = append(b, '[')
+	for i, v := range s {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		if b, err = memo.appendFloat(b, v); err != nil {
+			return b, err
+		}
+	}
+	return append(b, ']'), nil
+}
+
+// appendJSONFloat formats f exactly as encoding/json does: shortest
+// round-trip decimal, fixed notation inside [1e-6, 1e21), exponent
+// notation outside it with the "e-09" → "e-9" cleanup.
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return b, errUnsupportedFloat
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	//machlint:allow floateq replicates encoding/json's floatEncoder exactly; zero must take the 'f' branch for byte identity
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString writes s as a JSON string with encoding/json's default
+// escaping: ", \ and control characters always; <, > and & as \u00XX
+// (HTML-safe mode, which json.Encoder uses unless told otherwise); invalid
+// UTF-8 as U+FFFD; U+2028/U+2029 escaped for JS embedding.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, `\u202`...)
+			b = append(b, hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+
+	"github.com/mach-fl/mach/internal/det"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges map directly; every
+// histogram becomes a summary with its log-bucket-estimated p50/p90/p99/
+// p999 quantiles plus _sum and _count; per-shard phase histograms and
+// queue depths are labelled {shard=...,phase=...}. All families carry the
+// "mach_" prefix and are emitted in sorted order, so the output is
+// deterministic for deterministic metric values.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	var b bytes.Buffer
+
+	for _, name := range det.SortedKeys(s.Counters) {
+		promHead(&b, name, "counter")
+		promSample(&b, name, "", float64(s.Counters[name]))
+	}
+	for _, name := range det.SortedKeys(s.Gauges) {
+		promHead(&b, name, "gauge")
+		promSample(&b, name, "", s.Gauges[name])
+	}
+	for _, name := range det.SortedKeys(s.Histograms) {
+		promHead(&b, name, "summary")
+		promSummaryBody(&b, name, "", s.Histograms[name])
+	}
+	if len(s.Shards) > 0 {
+		promHead(&b, "shard_phase_ns", "summary")
+		for _, sh := range s.Shards {
+			for _, phase := range det.SortedKeys(sh.Phases) {
+				labels := `shard="` + strconv.Itoa(sh.Shard) + `",phase="` + phase + `"`
+				promSummaryBody(&b, "shard_phase_ns", labels, sh.Phases[phase])
+			}
+		}
+		promHead(&b, "shard_queue_depth", "gauge")
+		for _, sh := range s.Shards {
+			promSample(&b, "shard_queue_depth", `shard="`+strconv.Itoa(sh.Shard)+`"`, float64(sh.QueueDepth))
+		}
+	}
+
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// promHead writes one metric family's TYPE line.
+func promHead(b *bytes.Buffer, name, typ string) {
+	b.WriteString("# TYPE mach_")
+	b.WriteString(name)
+	b.WriteString(" ")
+	b.WriteString(typ)
+	b.WriteString("\n")
+}
+
+// promSample writes one sample line: mach_<name>{<labels>} <value>.
+func promSample(b *bytes.Buffer, name, labels string, v float64) {
+	b.WriteString("mach_")
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteString("{")
+		b.WriteString(labels)
+		b.WriteString("}")
+	}
+	b.WriteString(" ")
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	b.WriteString("\n")
+}
+
+// promSummaryBody writes one summary's quantile, _sum and _count samples.
+func promSummaryBody(b *bytes.Buffer, name, labels string, h HistSnapshot) {
+	quantile := func(q string, v int64) {
+		l := `quantile="` + q + `"`
+		if labels != "" {
+			l = labels + "," + l
+		}
+		promSample(b, name, l, float64(v))
+	}
+	quantile("0.5", h.P50)
+	quantile("0.9", h.P90)
+	quantile("0.99", h.P99)
+	quantile("0.999", h.P999)
+	promSample(b, name+"_sum", labels, float64(h.Sum))
+	promSample(b, name+"_count", labels, float64(h.Count))
+}

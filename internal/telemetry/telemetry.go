@@ -147,13 +147,54 @@ var histNames = [histCount]string{
 	"edge_sampled",
 }
 
-// histBuckets is the fixed bucket count of every histogram: bucket 0 holds
-// values ≤ 0 and bucket i ≥ 1 holds [2^(i-1), 2^i), so the layout covers
-// the full int64 range with no configuration and bucketing is a single
-// bits.Len64 — cheap enough for per-edge observations.
-const histBuckets = 65
+// Histogram buckets are HDR-style log-linear: bucket 0 holds values ≤ 0,
+// values 1..histExactMax land in exact unit buckets, and every power-of-two
+// octave above that splits into histSubCount linear sub-buckets, so an
+// observation is never more than one part in histSubCount (6.25%) from its
+// bucket bounds — tight enough to report p50/p90/p99/p999 from bucket
+// counts alone. The layout covers the full int64 range with no
+// configuration, and bucketing stays a bits.Len64 plus a shift — cheap
+// enough for per-edge observations.
+const (
+	histSubBits  = 4                         // 16 linear sub-buckets per octave
+	histSubCount = 1 << histSubBits          //
+	histExactMax = 1<<(histSubBits+1) - 1    // values 1..31 bucket exactly
+	histBuckets  = histExactMax + 1 + (63-(histSubBits+1))*histSubCount
+)
 
-// histogram is a power-of-two-bucket histogram over non-negative int64
+// histBucketIndex maps an observation to its bucket. The top bucket ends at
+// MaxInt64, so arbitrarily large observations saturate there instead of
+// overflowing.
+func histBucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	if v <= histExactMax {
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) // ≥ histSubBits+2 here
+	sub := int(uint64(v)>>(o-1-histSubBits)) & (histSubCount - 1)
+	return histExactMax + 1 + (o-(histSubBits+2))*histSubCount + sub
+}
+
+// histBucketBounds is the inverse of histBucketIndex: the closed value
+// range [lo, hi] that bucket idx covers.
+func histBucketBounds(idx int) (lo, hi int64) {
+	if idx <= 0 {
+		return 0, 0
+	}
+	if idx <= histExactMax {
+		return int64(idx), int64(idx)
+	}
+	k := idx - histExactMax - 1
+	o := k/histSubCount + histSubBits + 2
+	sub := k % histSubCount
+	width := int64(1) << (o - 1 - histSubBits)
+	lo = int64(1)<<(o-1) + int64(sub)*width
+	return lo, lo + width - 1
+}
+
+// histogram is a log-linear-bucket histogram over non-negative int64
 // observations. All fields are atomics, so concurrent observers (parallel
 // decide, pool workers) need no lock.
 type histogram struct {
@@ -165,11 +206,7 @@ type histogram struct {
 func (h *histogram) observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
-	idx := 0
-	if v > 0 {
-		idx = bits.Len64(uint64(v))
-	}
-	h.buckets[idx].Add(1)
+	h.buckets[histBucketIndex(v)].Add(1)
 }
 
 // ShardPhase identifies one phase of a control-plane shard's step: the
@@ -206,6 +243,7 @@ type Telemetry struct {
 	gauges   [gaugeCount]atomic.Uint64 // float64 bits
 	hists    [histCount]histogram
 	shards   atomic.Pointer[[]shardMetrics]
+	spans    atomic.Pointer[spanState]
 	trace    atomic.Pointer[Trace]
 }
 
@@ -386,11 +424,19 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistSnapshot is one histogram's state at snapshot time.
+// HistSnapshot is one histogram's state at snapshot time. The percentile
+// fields are estimated from the log-linear buckets (≤ 6.25% relative
+// error), interpolating within a bucket and rounding toward the bucket's
+// upper bound, so the estimate never understates a latency. An empty
+// histogram reports zero for every percentile.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
 	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	P999    int64        `json:"p999"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -432,6 +478,17 @@ func (t *Telemetry) Snapshot() *Snapshot {
 	for h := Hist(0); h < histCount; h++ {
 		s.Histograms[histNames[h]] = snapshotHist(&t.hists[h])
 	}
+	if sp := t.spans.Load(); sp != nil {
+		// Span latency histograms join the main map under a "span_" prefix;
+		// kinds with no observations are omitted to keep snapshots compact.
+		for k := SpanKind(0); k < spanKindCount; k++ {
+			hs := snapshotHist(&sp.dur[k])
+			if hs.Count == 0 {
+				continue
+			}
+			s.Histograms["span_"+spanKindNames[k]+"_ns"] = hs
+		}
+	}
 	if shards := t.shards.Load(); shards != nil {
 		for i := range *shards {
 			sm := &(*shards)[i]
@@ -449,25 +506,64 @@ func (t *Telemetry) Snapshot() *Snapshot {
 	return s
 }
 
-// snapshotHist copies one histogram's state.
+// snapshotHist copies one histogram's state. Quantiles are computed from
+// one consistent copy of the bucket counts, so a snapshot taken during
+// concurrent observation is internally coherent even if it trails the live
+// count/sum by a few observations.
 func snapshotHist(hist *histogram) HistSnapshot {
 	hs := HistSnapshot{Count: hist.count.Load(), Sum: hist.sum.Load()}
 	if hs.Count > 0 {
 		hs.Mean = float64(hs.Sum) / float64(hs.Count)
 	}
+	var counts [histBuckets]int64
+	var total int64
 	for i := 0; i < histBuckets; i++ {
 		n := hist.buckets[i].Load()
+		counts[i] = n
+		total += n
 		if n == 0 {
 			continue
 		}
-		b := HistBucket{Count: n}
-		if i > 0 {
-			b.Lo = int64(1) << (i - 1)
-			b.Hi = int64(1)<<i - 1
-		}
-		hs.Buckets = append(hs.Buckets, b)
+		lo, hi := histBucketBounds(i)
+		hs.Buckets = append(hs.Buckets, HistBucket{Lo: lo, Hi: hi, Count: n})
 	}
+	hs.P50 = histQuantile(&counts, total, 0.50)
+	hs.P90 = histQuantile(&counts, total, 0.90)
+	hs.P99 = histQuantile(&counts, total, 0.99)
+	hs.P999 = histQuantile(&counts, total, 0.999)
 	return hs
+}
+
+// histQuantile estimates the q-quantile from bucket counts: find the bucket
+// holding the ceil(q·total)-th observation and interpolate linearly by rank
+// position within the bucket's [lo, hi] range, rounding up. A single
+// observation therefore reports its own (bucket-resolution) value at every
+// quantile, and an empty histogram reports 0.
+func histQuantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := counts[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum >= rank {
+			lo, hi := histBucketBounds(i)
+			pos := rank - (cum - n) // 1..n within this bucket
+			return lo + (hi-lo)*pos/n
+		}
+	}
+	return 0
 }
 
 // WriteSnapshot renders the current metrics as indented JSON.

@@ -72,8 +72,9 @@ func TestCountersGaugesHistograms(t *testing.T) {
 	if h.Count != 4 || h.Sum != 14 {
 		t.Fatalf("edge_members count/sum = %d/%d, want 4/14", h.Count, h.Sum)
 	}
-	// Buckets: 0 → [0,0]; 1 → [1,1]; 5 → [4,7]; 8 → [8,15].
-	want := []HistBucket{{0, 0, 1}, {1, 1, 1}, {4, 7, 1}, {8, 15, 1}}
+	// Small values get exact unit buckets in the log-linear layout:
+	// 0 → [0,0]; 1 → [1,1]; 5 → [5,5]; 8 → [8,8].
+	want := []HistBucket{{0, 0, 1}, {1, 1, 1}, {5, 5, 1}, {8, 8, 1}}
 	if len(h.Buckets) != len(want) {
 		t.Fatalf("edge_members buckets = %+v, want %+v", h.Buckets, want)
 	}

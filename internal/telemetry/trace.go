@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"bufio"
-	"encoding/json"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -124,20 +123,27 @@ type TraceConfig struct {
 // mutex; the engine emits decision events from its sequential finalize
 // phase in edge order, so event order is deterministic (DESIGN.md §8).
 // All methods are safe on a nil receiver, which means "tracing disabled".
+//
+// Events are encoded by the pooled append encoder (encode.go), which
+// reuses one scratch buffer under the emission mutex and writes bytes
+// identical to encoding/json's output — the committed golden traces and
+// the machtrace reader see no difference, but the steady-state trace path
+// stops allocating per event.
 type Trace struct {
 	cfg    TraceConfig
 	events atomic.Int64
 
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	err error
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	buf  []byte
+	memo *floatMemo // lazily allocated: formatted-float cache for decision events
+	err  error
 }
 
 // NewTrace returns a trace writing JSONL events to w.
 func NewTrace(w io.Writer, cfg TraceConfig) *Trace {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	return &Trace{cfg: cfg, bw: bw, enc: json.NewEncoder(bw)}
+	return &Trace{cfg: cfg, bw: bw, buf: make([]byte, 0, 4096)}
 }
 
 // Config returns the trace's sampling-rate control.
@@ -179,7 +185,19 @@ func (tr *Trace) Emit(ev *Event) {
 	if tr.err != nil {
 		return
 	}
-	if err := tr.enc.Encode(ev); err != nil {
+	if ev.Decision != nil && tr.memo == nil {
+		// First decision event: from here the float memo pays for itself
+		// (estimates repeat across steps). Metric-only traces never allocate it.
+		tr.memo = new(floatMemo)
+	}
+	b, err := appendEvent(tr.buf[:0], ev, tr.memo)
+	if err != nil {
+		tr.err = err
+		return
+	}
+	b = append(b, '\n')
+	tr.buf = b[:0] // keep the grown capacity for the next event
+	if _, err := tr.bw.Write(b); err != nil {
 		tr.err = err
 		return
 	}

@@ -56,10 +56,35 @@ scale_tmp=$(mktemp -d)
 go run ./cmd/machbench -exp scale -quick -out "$scale_tmp" >/dev/null
 rm -rf "$scale_tmp"
 
-echo "== telemetry bench smoke (-exp telemetry -quick, off/metrics/trace agreement check)"
+echo "== telemetry bench smoke (-exp telemetry -quick, cross-mode agreement check)"
 tel_tmp=$(mktemp -d)
 go run ./cmd/machbench -exp telemetry -quick -out "$tel_tmp" >/dev/null
 rm -rf "$tel_tmp"
+
+echo "== observability smoke (machsim -debug-addr, machtop scrape mid-run)"
+obs_tmp=$(mktemp -d)
+go build -o "$obs_tmp/machsim" ./cmd/machsim
+go build -o "$obs_tmp/machtop" ./cmd/machtop
+"$obs_tmp/machsim" -task mnist -strategy mach -steps 60 \
+	-debug-addr 127.0.0.1:16060 -metrics-out "$obs_tmp/snap.json" \
+	>/dev/null 2>"$obs_tmp/machsim.log" &
+obs_pid=$!
+# Poll /healthz until the debug server is up (the run itself takes longer).
+obs_ok=0
+for _ in $(seq 1 50); do
+	if "$obs_tmp/machtop" scrape -addr 127.0.0.1:16060 >"$obs_tmp/scrape.out" 2>&1; then
+		obs_ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ "$obs_ok" = 1 ] || { echo "check: machtop scrape never succeeded against a live machsim" >&2; \
+	cat "$obs_tmp/scrape.out" "$obs_tmp/machsim.log" >&2; kill "$obs_pid" 2>/dev/null; exit 1; }
+cat "$obs_tmp/scrape.out"
+wait "$obs_pid" || { echo "check: machsim -debug-addr run failed" >&2; cat "$obs_tmp/machsim.log" >&2; exit 1; }
+# The final snapshot must diff cleanly against itself (machtop diff exit 0).
+"$obs_tmp/machtop" diff "$obs_tmp/snap.json" "$obs_tmp/snap.json" >/dev/null
+rm -rf "$obs_tmp"
 
 echo "== engine bench headline (committed BENCH_engine.json, serial row)"
 awk '/"ns_per_step"/ && !ns {ns=$2} /"final_accuracy"/ && !acc {acc=$2} END \
